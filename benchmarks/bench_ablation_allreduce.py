@@ -1,0 +1,28 @@
+"""Ablation bench — all-reduce algorithm cost under the alpha-beta model.
+
+Shape: for a GNMT-scale gradient, ring all-reduce cost is bounded in the
+worker count (bandwidth-optimal) while naive grows linearly; the ring
+keeps the modelled epoch time flat as workers grow.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_allreduce(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("ablation_allreduce"), rounds=1, iterations=1
+    )
+    save_result("ablation_allreduce", out["text"])
+    ring = out["series"]["ring"]
+    naive = out["series"]["naive"]
+    workers = out["workers"]
+    # ring beats naive everywhere beyond 2 workers, by a growing factor
+    ratios = [n / r for r, n in zip(ring[1:], naive[1:])]
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    # ring's cost is bounded: going 2 -> 64 workers less-than-doubles it
+    assert ring[-1] < 2.0 * ring[0]
+    # naive is ~linear in p
+    assert naive[-1] / naive[0] > 0.5 * (workers[-1] / workers[0])

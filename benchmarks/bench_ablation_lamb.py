@@ -1,0 +1,23 @@
+"""Ablation bench — LARS vs LAMB under the identical LEGW schedule.
+
+Shape: both layer-wise-adaptive solvers hold high accuracy across the
+batch ladder under LEGW with a single calibrated base LR each — the
+trust-ratio family composes with LEGW interchangeably.
+"""
+
+from conftest import save_result
+
+from repro.experiments.ablation_lamb import run
+
+
+def test_ablation_lamb(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_lamb", out["text"])
+    lars = out["series"]["lars"]
+    lamb = out["series"]["lamb"]
+    # both solvers healthy at the base batch
+    assert lars[0] > 0.9 and lamb[0] > 0.9
+    # and both still working at the top rung (no divergence / collapse)
+    assert lars[-1] > 0.6 and lamb[-1] > 0.6
+    # nothing NaN'd anywhere on the ladder
+    assert all(v == v for v in lars + lamb)

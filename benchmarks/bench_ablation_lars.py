@@ -1,0 +1,24 @@
+"""Ablation bench — LARS trust-coefficient sensitivity at large batch.
+
+Shape: the workload's calibrated trust coefficient sits in a working
+regime (high top-5 under the untouched LEGW schedule), and the sweep has
+real dynamic range — LEGW's robustness is not unconditional.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_lars(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("ablation_lars"), rounds=1, iterations=1
+    )
+    save_result("ablation_lars", out["text"])
+    results = out["results"]
+    scores = {tc: r["top5"] for tc, r in results.items()}
+    # the calibrated setting (0.02) works
+    assert scores[0.02] == scores[0.02] and scores[0.02] > 0.7
+    # the sweep is informative: not every coefficient is equally good
+    valid = [v for v in scores.values() if v == v]
+    assert max(valid) - min(valid) > 0.05 or min(valid) > 0.9

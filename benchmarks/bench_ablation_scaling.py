@@ -1,0 +1,22 @@
+"""Ablation bench — LR scaling rule under LEGW warmup (MNIST).
+
+Shape: with warmup held at LEGW's linear-epoch rule, sqrt scaling keeps
+accuracy roughly flat across the ladder; linear scaling falls off at the
+largest batch; no scaling under-trains there too.
+"""
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_scaling(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("ablation_scaling"), rounds=1, iterations=1
+    )
+    save_result("ablation_scaling", out["text"])
+    s = out["series"]
+    # sqrt stays healthy across the whole ladder
+    assert min(s["sqrt"]) > 0.8
+    # at the top batch sqrt beats linear clearly
+    assert better(s["sqrt"][-1], s["linear"][-1], "max", margin=0.1)

@@ -1,0 +1,31 @@
+"""Ablation bench — warmup length where warmup is load-bearing.
+
+Shape: with the linearly-scaled LR at PTB-small's largest batch,
+perplexity improves monotonically with warmup length — no warmup blows
+the run up, the unscaled constant-epoch warmup is far too short to help,
+and LEGW-scaled warmups rescue it.  The batch-scaled policies are the
+only ones in the working regime, which is the ablation's point: warmup
+measured in epochs must grow with the batch ratio.
+"""
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_warmup(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("ablation_warmup"), rounds=1, iterations=1
+    )
+    save_result("ablation_warmup", out["text"])
+    r = out["results"]
+    legw = r["linear-epoch (LEGW)"]
+    # LEGW's warmup rescues the aggressive LR decisively
+    assert better(legw, r["none"], "min", margin=5.0), r
+    # the unscaled (constant-epoch) warmup is far too short to match
+    assert better(legw, r["constant-epoch"], "min", margin=-1.0), r
+    # perplexity improves monotonically with warmup length (small slack)
+    ordered = [r["none"], r["constant-epoch"], legw, r["2x linear-epoch"]]
+    assert all(
+        b <= a * 1.1 for a, b in zip(ordered, ordered[1:])
+    ), ordered

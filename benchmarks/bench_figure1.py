@@ -1,0 +1,32 @@
+"""Figure 1 bench — LEGW vs prior large-batch techniques (mini-ResNet).
+
+Paper shape: LEGW's accuracy stays ~constant across the batch ladder while
+linear scaling (with or without constant warmup) collapses at the largest
+batches.
+"""
+
+import math
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure1(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure1"), rounds=1, iterations=1
+    )
+    save_result("figure1", out["text"])
+    legw = out["series"]["legw"]
+    linear0 = out["series"]["linear+0"]
+    linear5 = out["series"]["linear+5"]
+    # LEGW holds accuracy across the whole ladder...
+    assert min(legw) > 0.7
+    # ...and clearly beats linear scaling at the largest batch
+    assert better(legw[-1], linear0[-1], "max", margin=0.15)
+    assert better(legw[-1], linear5[-1], "max", margin=0.1)
+    # at the base batch all schemes coincide (they are the same schedule
+    # up to warmup length) — no scheme should be broken there
+    assert all(
+        s[0] > 0.9 for s in (legw, linear0, linear5, out["series"]["sqrt+0"])
+    )

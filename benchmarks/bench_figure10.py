@@ -1,0 +1,21 @@
+"""Figure 10 bench (appendix) — LEGW vs tuned Adam, PTB-large and GNMT.
+
+Paper shape: same as Figure 6 on the remaining two applications.
+"""
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure10(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure10"), rounds=1, iterations=1
+    )
+    save_result("figure10", out["text"])
+    for app, panel in out["panels"].items():
+        mode = panel["mode"]
+        tol = 0.05 if mode == "max" else -2.0
+        assert better(panel["legw"][-1], panel["adam"][-1], mode, margin=-abs(tol)), (
+            app, panel["legw"][-1], panel["adam"][-1],
+        )

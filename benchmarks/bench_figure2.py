@@ -1,0 +1,34 @@
+"""Figure 2 bench — the LEGW LR schedule at paper-scale ImageNet numbers.
+
+Pure schedule evaluation: peak LR follows 2^(2.5 + s/2), warmup epochs
+double with batch, warmup iterations stay ~constant, and both decay
+variants (multi-step, poly p=2) trace the paper's curves.
+"""
+
+import math
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure2(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure2"), rounds=1, iterations=1
+    )
+    save_result("figure2", out["text"])
+    entries = out["entries"]
+    peaks = [e["peak_lr"] for e in entries]
+    for j, p in enumerate(peaks):
+        assert math.isclose(p, 2.0 ** (2.5 + 0.5 * j), rel_tol=1e-6)
+    wu_epochs = [e["warmup_epochs"] for e in entries]
+    assert all(
+        math.isclose(b, 2 * a, rel_tol=1e-9) for a, b in zip(wu_epochs, wu_epochs[1:])
+    )
+    # multistep: LR at epoch 45 is peak/10, at 75 peak/100
+    for j, batch in enumerate(out["batches"]):
+        series = out["series"]["multistep"][batch]
+        assert math.isclose(series[45], peaks[j] * 0.1, rel_tol=1e-6)
+        assert math.isclose(series[75], peaks[j] * 0.01, rel_tol=1e-6)
+        poly = out["series"]["poly"][batch]
+        assert math.isclose(poly[45], peaks[j] * (1 - 0.5) ** 2, rel_tol=0.01)

@@ -1,0 +1,21 @@
+"""Figure 4 bench — fixed-epoch wall-clock speedups of LEGW's batches.
+
+Paper numbers: GNMT 2h+ @256 -> 33min @4096 on one TPU-v2 (~3.6x) and a
+5.3x average over the four LSTM applications.
+"""
+
+import math
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure4(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure4"), rounds=1, iterations=1
+    )
+    save_result("figure4", out["text"])
+    assert math.isclose(out["average"], 5.3, abs_tol=0.3)
+    assert math.isclose(out["speedups"]["gnmt"], 120 / 33, rel_tol=0.05)
+    assert all(s > 1.0 for s in out["speedups"].values())

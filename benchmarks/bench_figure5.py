@@ -1,0 +1,31 @@
+"""Figure 5 bench — Adam vs the pre-LEGW tuning techniques (MNIST).
+
+Paper shape: at the largest batch, grid-tuned Adam beats every momentum
+tuning variant (η₀ reuse, linear scaling, +poly decay, +5-epoch warmup).
+"""
+
+import math
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure5(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure5"), rounds=1, iterations=1
+    )
+    save_result("figure5", out["text"])
+    series = out["series"]
+    adam_top = series["adam"][-1]
+    # Adam stays healthy at the top batch...
+    assert adam_top > 0.5
+    # ...and beats (or at least matches) every tuning variant there
+    for variant in ("eta0", "linear", "linear+poly", "linear+poly+warmup"):
+        top = series[variant][-1]
+        assert better(adam_top, top, "max", margin=-0.05), (variant, top, adam_top)
+    # at the base batch nothing is broken: all schemes = the tuned baseline
+    assert all(
+        series[v][0] > 0.85
+        for v in ("eta0", "linear", "linear+poly", "adam")
+    )

@@ -1,0 +1,23 @@
+"""Figure 8 bench — comprehensive tuning with a 3x longer epoch budget.
+
+Paper shape: giving the tuned baselines (and LEGW) several times more
+epochs to converge does not change the verdict — LEGW still at least
+matches the best tuned run.
+"""
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure8(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure8"), rounds=1, iterations=1
+    )
+    save_result("figure8", out["text"])
+    for app, panel in out["panels"].items():
+        mode = panel["mode"]
+        tol = 0.03 if mode == "max" else 1.5
+        assert better(panel["legw"], panel["best_tuned"], mode, margin=-tol), (
+            app, panel["legw"], panel["best_tuned"],
+        )

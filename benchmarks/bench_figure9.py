@@ -1,0 +1,32 @@
+"""Figure 9 bench (appendix) — default-hyper Adam vs Adadelta.
+
+Paper shape: Adam is the better no-tuning adaptive baseline.  At our
+scale this reproduces on PTB (both rungs) and at the large-batch rung of
+both applications; scaled-down MNIST at the base batch is a recorded
+deviation (Adadelta edges Adam there — see EXPERIMENTS.md), so the
+assertions pin the PTB panels and the large-batch rungs.
+"""
+
+from conftest import better, save_result
+
+from repro.experiments import run_experiment
+
+
+def test_figure9(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("figure9"), rounds=1, iterations=1
+    )
+    save_result("figure9", out["text"])
+    panels = out["panels"]
+
+    # PTB: Adam clearly better at the base batch (the paper's main claim)
+    ptb = panels["ptb_small"]
+    base = ptb["finals"][ptb["base_batch"]]
+    assert better(base["adam"], base["adadelta"], ptb["mode"], margin=2.0), base
+
+    # at the large-batch rung Adam at least matches Adadelta on both apps
+    for app, panel in panels.items():
+        top = panel["finals"][panel["top_batch"]]
+        mode = panel["mode"]
+        tol = 0.08 if mode == "max" else 3.0
+        assert better(top["adam"], top["adadelta"], mode, margin=-tol), (app, top)

@@ -1,0 +1,24 @@
+"""Table 1 bench — the application inventory, paper vs reproduction."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1
+    )
+    save_result("table1", out["text"])
+    apps = out["apps"]
+    assert set(apps) == {"mnist", "ptb_small", "ptb_large", "gnmt", "resnet"}
+    # the paper's solver assignments
+    assert apps["mnist"]["solver"] == "momentum"
+    assert apps["ptb_small"]["solver"] == "momentum"
+    assert apps["ptb_large"]["solver"] == "lars"
+    assert apps["resnet"]["solver"] == "lars"
+    # the paper's metrics
+    assert apps["mnist"]["metric"] == "accuracy"
+    assert apps["ptb_small"]["metric"] == "perplexity"
+    assert apps["gnmt"]["metric"] == "bleu"
+    assert apps["resnet"]["metric"] == "top5"

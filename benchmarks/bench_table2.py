@@ -1,0 +1,35 @@
+"""Table 2 bench — GNMT batch scaling under LEGW.
+
+Paper shape: init LR follows the sqrt pattern, warmup epochs double with
+batch (equivalently warmup iterations stay constant), and BLEU remains at
+baseline level across the ladder (paper: 22.7 -> 22.2 over x16).
+"""
+
+import math
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_experiment("table2"), rounds=1, iterations=1
+    )
+    save_result("table2", out["text"])
+    entries = out["entries"]
+    # sqrt LR pattern: each doubling multiplies init LR by sqrt(2)
+    lrs = [e["init_lr"] for e in entries]
+    for a, b in zip(lrs, lrs[1:]):
+        assert math.isclose(b, a * math.sqrt(2), rel_tol=1e-9)
+    # warmup epochs double; warmup iterations ~constant
+    wu = [e["warmup_epochs"] for e in entries]
+    for a, b in zip(wu, wu[1:]):
+        assert math.isclose(b, 2 * a, rel_tol=1e-9)
+    iters = [e["warmup_iterations"] for e in entries]
+    assert max(iters) - min(iters) <= 1
+    # BLEU stays in the baseline's ballpark across the ladder
+    bleus = [e["bleu"] for e in entries]
+    assert all(b == b for b in bleus)  # nothing diverged
+    assert min(bleus) > 0.5 * max(bleus)
+    assert max(bleus) > 50.0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The gradient noise scale: measuring where large batches stop paying.
+
+The Sqrt Scaling rule LEGW builds on keeps the gradient estimator's
+variance constant as batch grows; the summary statistic of that variance
+is the *gradient noise scale* B_noise = tr(Σ)/||G||² — batches below it
+are noise-dominated (every doubling halves the noise: linear-speedup
+territory), batches above it average mostly-redundant samples.
+
+This script estimates B_noise for the MNIST-LSTM at initialisation and
+after a few epochs of training, and prints it next to the workload's
+batch ladder.  The headline check: at initialisation the entire ladder
+(16..256) sits *below* B_noise — every rung is still noise-dominated —
+which is exactly the regime where batch scaling preserves accuracy, i.e.
+where the LEGW experiments of Figures 1/6 live.
+
+Run:  python examples/noise_scale_critical_batch.py     (~1 min)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import estimate_noise_scale
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.models import MnistLSTMClassifier
+from repro.optim import Momentum
+from repro.schedules import ConstantLR
+from repro.train import Trainer
+
+
+def main() -> None:
+    train, _ = make_sequential_mnist(1024, 64, rng=0, size=14)
+    model = MnistLSTMClassifier(rng=1, input_dim=14, transform_dim=32, hidden=32)
+
+    def make_batch(size: int, gen: np.random.Generator):
+        idx = gen.integers(0, len(train), size)
+        return train.inputs[idx], train.targets[idx]
+
+    def measure(tag: str) -> float:
+        est = estimate_noise_scale(
+            model.loss, make_batch, model.parameters(),
+            b_small=8, b_big=256, rng=2, n_pairs=10,
+        )
+        print(
+            f"{tag:28s} B_noise = {est.noise_scale:8.1f}   "
+            f"(||G||^2 = {est.grad_sq_norm:.3g}, tr(Sigma) = {est.trace_sigma:.3g})"
+        )
+        return est.noise_scale
+
+    ladder = (16, 64, 256)
+    print(f"MNIST-LSTM batch ladder: {ladder} (paper: 128 / 512 / 2K)\n")
+    init_scale = measure("at initialisation")
+
+    trainer = Trainer(
+        model.loss,
+        Momentum(model, lr=0.02),
+        ConstantLR(0.02),
+        BatchIterator(train, 16, rng=3),
+    )
+    trainer.run(4)
+    measure("after 4 epochs of training")
+
+    below = [b for b in ladder if b < init_scale]
+    print(
+        f"\nrungs below the initial noise scale ({init_scale:.0f}): {below} — "
+        "these batches are still noise-dominated, the regime where batch "
+        "scaling under Sqrt-LR preserves accuracy (Figures 1/6).\n"
+        "Mid-training the estimate moves with ||G||^2 and eventually hits "
+        "the interpolation regime (per-sample gradients ~0) where the "
+        "two-batch estimator degenerates — measure early, as the scaling "
+        "literature does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Language modelling with large batches: PTB-small vs the tuning trap.
+
+Reproduces the paper's PTB story end to end on the calibrated PTB-small
+workload (synthetic Markov corpus, momentum + exponential-after-hold
+decay — the paper's recipe):
+
+1. train the baseline at the small batch;
+2. scale the batch x8 with the *linear* scaling rule and no warmup — the
+   pre-LEGW convention — and watch perplexity blow far past the unigram
+   ceiling;
+3. same aggressive LR but with LEGW's linear-epoch warmup in front — the
+   warmup alone rescues the run;
+4. full LEGW (sqrt LR + linear-epoch warmup) — lands near the baseline,
+   zero tuning.
+
+Because the corpus is a known Markov chain, the script also prints the
+exact perplexity floor (entropy rate) and the unigram ceiling, so you can
+see where each run sits between "memorised nothing" and "learned the
+source".
+
+Run:  python examples/ptb_language_model.py           (~1 min)
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_workload, score_of
+
+
+def main() -> None:
+    wl = build_workload("ptb_small", "smoke")
+    source = wl.source  # the generating Markov chain (known statistics)
+    print(f"perplexity floor (entropy rate): {source.perplexity_floor():6.2f}")
+    print(f"unigram ceiling (memoryless):    {source.unigram_perplexity():6.2f}\n")
+
+    big = wl.batches[-1]
+    k = big // wl.base_batch
+
+    runs = [
+        (
+            f"baseline (batch {wl.base_batch})",
+            wl.base_batch,
+            wl.legw_schedule(wl.base_batch),
+        ),
+        (
+            f"linear scaling, no warmup (batch {big}, lr x{k})",
+            big,
+            wl.scaled_schedule(big, "linear", warmup_epochs=0.0),
+        ),
+        (
+            f"linear scaling + LEGW-length warmup (batch {big})",
+            big,
+            wl.scaled_schedule(
+                big, "linear",
+                warmup_epochs=wl.base_warmup_epochs * k,
+            ),
+        ),
+        (
+            f"LEGW: sqrt LR + linear-epoch warmup (batch {big})",
+            big,
+            wl.legw_schedule(big),
+        ),
+    ]
+    for name, batch, schedule in runs:
+        result = wl.run(batch, schedule, seed=0)
+        ppl = score_of(result, "perplexity")
+        print(f"{name:55s} perplexity {ppl:10.2f}")
+
+    print(
+        "\nThe aggressive linearly-scaled LR needs the batch-scaled warmup "
+        "to survive at all; LEGW's sqrt LR needs no rescue and no tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

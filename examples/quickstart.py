@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: LEGW in five minutes.
+
+Trains the paper's MNIST-LSTM (scaled down) twice — once at the baseline
+batch size, once at 16x the batch — using exactly one tuned configuration.
+LEGW derives the large-batch schedule automatically:
+
+    peak LR       = base_lr * sqrt(batch / base_batch)     (Sqrt Scaling)
+    warmup epochs = base_warmup_epochs * batch / base_batch (linear-epoch)
+
+and the large-batch run matches the baseline's accuracy with zero extra
+tuning — the paper's core claim.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.models import MnistLSTMClassifier
+from repro.optim import Momentum
+from repro.schedules import LEGW
+from repro.train import Trainer
+
+# ---------------------------------------------------------------------------
+# one tuned baseline configuration — the ONLY hyper-parameters in this file
+# ---------------------------------------------------------------------------
+BASE_BATCH = 16
+BASE_LR = 0.06
+BASE_WARMUP_EPOCHS = 0.1
+EPOCHS = 18
+
+train, test = make_sequential_mnist(n_train=1024, n_test=256, rng=0, size=14)
+
+
+def train_at(batch: int) -> float:
+    """Train from scratch at ``batch`` under the LEGW-derived schedule."""
+    schedule = LEGW(
+        base_lr=BASE_LR,
+        base_batch=BASE_BATCH,
+        base_warmup_epochs=BASE_WARMUP_EPOCHS,
+        batch=batch,
+        steps_per_epoch=-(-len(train) // batch),
+    )
+    print(f"  schedule: {schedule!r}")
+    model = MnistLSTMClassifier(rng=1, input_dim=14, transform_dim=32, hidden=32)
+    iterator = BatchIterator(train, batch, rng=2)
+    trainer = Trainer(
+        model.loss,
+        Momentum(model, lr=schedule.peak_lr),
+        schedule,
+        iterator,
+        eval_fn=lambda: model.evaluate(test),
+    )
+    result = trainer.run(EPOCHS)
+    return result.final_metrics["accuracy"]
+
+
+def main() -> None:
+    print(f"baseline: batch {BASE_BATCH}")
+    base_acc = train_at(BASE_BATCH)
+    print(f"  accuracy = {base_acc:.3f}\n")
+
+    big = BASE_BATCH * 16
+    print(f"large batch: {big} (x16) — no re-tuning, LEGW scales the schedule")
+    big_acc = train_at(big)
+    print(f"  accuracy = {big_acc:.3f}\n")
+
+    print(
+        f"accuracy gap at 16x batch: {base_acc - big_acc:+.3f} "
+        "(LEGW's claim: ~zero)"
+    )
+
+
+if __name__ == "__main__":
+    main()

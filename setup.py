@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has setuptools but no `wheel`
+package, so PEP-517 editable installs fail on bdist_wheel. Keeping a
+setup.py lets `pip install -e .` use the legacy develop path."""
+
+from setuptools import setup
+
+setup()

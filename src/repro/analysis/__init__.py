@@ -1,0 +1,24 @@
+"""Loss-landscape diagnostics: the local Lipschitz analysis of Section 4."""
+
+from repro.analysis.lipschitz import (
+    lipschitz_estimate,
+    lipschitz_trace,
+    peak_iteration,
+)
+from repro.analysis.noise_scale import NoiseScaleEstimate, estimate_noise_scale
+from repro.analysis.hessian import (
+    PowerIterationResult,
+    hessian_vector_product,
+    top_hessian_eigenvalue,
+)
+
+__all__ = [
+    "lipschitz_estimate",
+    "lipschitz_trace",
+    "peak_iteration",
+    "NoiseScaleEstimate",
+    "estimate_noise_scale",
+    "PowerIterationResult",
+    "hessian_vector_product",
+    "top_hessian_eigenvalue",
+]

@@ -1,0 +1,136 @@
+"""Local Lipschitz-constant estimation along the gradient (Section 4).
+
+The paper motivates LEGW by plotting
+
+    L(x, g) = ‖gᵀ ∇²f(x) g‖ / ‖g‖²  =  ĝᵀ (∇²f) ĝ   (ĝ = g/‖g‖)
+
+over training iterations (Figure 3): L peaks early, and the peak shifts
+right roughly linearly with batch size — so warmup must lengthen with
+batch.  Exactly as in the paper, the Hessian-vector product is
+approximated with a small batch by central finite differences of the
+(exact autograd) gradient:
+
+    H ĝ ≈ [∇f(x + ε ĝ) − ∇f(x − ε ĝ)] / (2ε).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.schedules.base import Schedule
+from repro.tensor.tensor import Tensor
+from repro.utils.log import RunLog
+
+
+def _flat_grad(
+    loss_fn: Callable[[object], Tensor], batch, params: Sequence[Tensor]
+) -> np.ndarray:
+    for p in params:
+        p.grad = None
+    loss = loss_fn(batch)
+    loss.backward()
+    return np.concatenate(
+        [
+            (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+            for p in params
+        ]
+    )
+
+
+def _add_to_params(params: Sequence[Tensor], flat: np.ndarray, scale: float) -> None:
+    offset = 0
+    for p in params:
+        size = p.data.size
+        p.data += scale * flat[offset : offset + size].reshape(p.data.shape)
+        offset += size
+
+
+def lipschitz_estimate(
+    loss_fn: Callable[[object], Tensor],
+    batch,
+    params: Sequence[Tensor],
+    eps: float = 1e-3,
+) -> float:
+    """One L(x, g) sample at the current parameters.
+
+    Perturbs the parameters in place (±ε along the normalised gradient)
+    and restores them exactly, so it can interleave with training.
+    """
+    g = _flat_grad(loss_fn, batch, params)
+    g_norm = float(np.linalg.norm(g))
+    if g_norm == 0.0:
+        return 0.0
+    ghat = g / g_norm
+    _add_to_params(params, ghat, +eps)
+    g_plus = _flat_grad(loss_fn, batch, params)
+    _add_to_params(params, ghat, -2.0 * eps)
+    g_minus = _flat_grad(loss_fn, batch, params)
+    _add_to_params(params, ghat, +eps)  # restore
+    hv = (g_plus - g_minus) / (2.0 * eps)
+    return float(abs(np.dot(ghat, hv)))
+
+
+def lipschitz_trace(
+    loss_fn: Callable[[object], Tensor],
+    params: Sequence[Tensor],
+    optimizer: Optimizer,
+    schedule: Schedule,
+    train_iter: Iterable,
+    epochs: int,
+    probe_every: int = 1,
+    eps: float = 1e-3,
+    probe_batch=None,
+) -> RunLog:
+    """Train while recording L(x, g) before each update (Figure 3's traces).
+
+    ``probe_batch`` fixes the mini-batch used for the L(x, g) probe, as in
+    the paper ("we approximate it using a small batch") — keeping the probe
+    noise constant across training batch sizes so the traces are
+    comparable.  When omitted, each training batch doubles as its own
+    probe.
+
+    Returns a :class:`RunLog` with series ``lipschitz`` (per probed
+    iteration) and ``loss``.
+    """
+    log = RunLog()
+    iteration = 0
+    for _ in range(epochs):
+        for batch in train_iter:
+            if iteration % probe_every == 0:
+                log.record(
+                    "lipschitz",
+                    iteration,
+                    lipschitz_estimate(
+                        loss_fn,
+                        batch if probe_batch is None else probe_batch,
+                        params,
+                        eps=eps,
+                    ),
+                )
+            lr = schedule(iteration)
+            optimizer.zero_grad()
+            loss = loss_fn(batch)
+            loss.backward()
+            log.record("loss", iteration, float(loss.data))
+            optimizer.step(lr=lr)
+            iteration += 1
+    return log
+
+
+def peak_iteration(log: RunLog, smooth_window: int = 3) -> int:
+    """Iteration index of the (smoothed) maximum of the Lipschitz trace.
+
+    The paper's qualitative claim is that this peak moves right roughly
+    linearly with batch size; the Figure 3 driver reports it per batch.
+    """
+    steps = log.steps("lipschitz")
+    values = np.asarray(log.values("lipschitz"))
+    if len(values) == 0:
+        raise ValueError("log has no lipschitz series")
+    if smooth_window > 1 and len(values) >= smooth_window:
+        kernel = np.ones(smooth_window) / smooth_window
+        values = np.convolve(values, kernel, mode="same")
+    return int(steps[int(np.argmax(values))])

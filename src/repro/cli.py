@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Installed as ``python -m repro`` (see ``__main__.py``); three subcommands
+cover the repository's day-one uses:
+
+* ``list`` — enumerate registered experiments and workloads;
+* ``experiment <id>`` — run one table/figure/ablation driver and print
+  the rows the paper reports (optionally rendering series as an ASCII
+  chart with ``--chart``);
+* ``train <workload>`` — train one application at a chosen batch size
+  under a chosen schedule and print the final metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.experiments import build_workload, run_experiment, score_of
+from repro.experiments.registry import EXPERIMENTS
+from repro.utils.ascii_plot import line_chart
+
+WORKLOADS = ("mnist", "ptb_small", "ptb_large", "gnmt", "resnet")
+SCHEDULE_KINDS = ("legw", "linear", "sqrt", "none")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Large-Batch Training for LSTM and Beyond' "
+            "(You et al., SC 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    exp = sub.add_parser("experiment", help="run one table/figure driver")
+    exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--preset", default="smoke", choices=("smoke", "small"))
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--chart", action="store_true",
+        help="also render numeric series as an ASCII chart where available",
+    )
+    exp.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the driver's raw result dict as JSON",
+    )
+
+    tr = sub.add_parser("train", help="train one workload once")
+    tr.add_argument("workload", choices=WORKLOADS)
+    tr.add_argument("--preset", default="smoke", choices=("smoke", "small"))
+    tr.add_argument("--batch", type=int, default=None,
+                    help="batch size (default: the workload's base batch)")
+    tr.add_argument("--schedule", default="legw", choices=SCHEDULE_KINDS,
+                    help="legw, or a scaling rule with --warmup-epochs")
+    tr.add_argument("--warmup-epochs", type=float, default=0.0)
+    tr.add_argument("--epochs", type=int, default=None)
+    tr.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"  {exp_id}")
+    print("workloads:")
+    for name in WORKLOADS:
+        print(f"  {name}")
+    return 0
+
+
+def _chartable_series(out: dict):
+    series = out.get("series")
+    if isinstance(series, dict) and series:
+        first = next(iter(series.values()))
+        if isinstance(first, (list, tuple)):
+            return {str(k): list(v) for k, v in series.items()}
+    return None
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    out = run_experiment(args.experiment_id, preset=args.preset, seed=args.seed)
+    if args.as_json:
+        print(json.dumps(_jsonable(out), indent=2))
+        return 0
+    print(out["text"])
+    if args.chart:
+        series = _chartable_series(out)
+        if series is not None:
+            print()
+            print(
+                line_chart(
+                    series,
+                    x_labels=out.get("batches") or out.get("workers"),
+                    title=f"{args.experiment_id} (series view)",
+                )
+            )
+        else:
+            print("(no chartable series in this experiment)", file=sys.stderr)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    wl = build_workload(args.workload, args.preset)
+    batch = args.batch if args.batch is not None else wl.base_batch
+    if args.schedule == "legw":
+        schedule = wl.legw_schedule(batch, args.epochs)
+        print(f"schedule: {schedule!r}")
+    else:
+        schedule = wl.scaled_schedule(
+            batch, args.schedule, warmup_epochs=args.warmup_epochs,
+            epochs=args.epochs,
+        )
+        print(f"schedule: {args.schedule} scaling, warmup {args.warmup_epochs} ep")
+    result = wl.run(batch, schedule, seed=args.seed, epochs=args.epochs)
+    score = score_of(result, wl.metric)
+    status = "DIVERGED" if result.diverged else "ok"
+    print(
+        f"{args.workload} @ batch {batch} "
+        f"(paper {wl.paper_batch(batch)}): {wl.metric} = {score:.4g} [{status}]"
+    )
+    return 0 if not result.diverged else 1
+
+
+def _jsonable(value):
+    """Best-effort conversion of a driver result dict to JSON types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

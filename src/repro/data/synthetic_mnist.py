@@ -1,0 +1,93 @@
+"""Sequential-MNIST stand-in.
+
+The paper's MNIST-LSTM reads each 28×28 image as a 28-step sequence of
+28-dim row vectors.  We reproduce the geometry with procedurally drawn
+digit-like glyphs: each class is a fixed stroke pattern (segments on a
+seven-segment-style grid plus a diagonal), rendered at 28×28, then each
+sample adds a random sub-pixel shift, per-pixel noise and amplitude jitter.
+
+Classes are well-separated but not linearly trivial (the shift means a
+pixel-wise linear model underperforms), so accuracy-vs-batch-size curves
+behave like the real task: easy to reach high 90s with a tuned LR, easy to
+destroy with a mis-scaled one — which is the phenomenon the paper measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import as_generator, spawn
+
+IMAGE_SIZE = 28
+NUM_CLASSES = 10
+
+# Seven-segment-inspired stroke sets per digit class (row0, col0, row1, col1)
+# on a coarse 4×3 grid scaled to the 28×28 canvas.  The exact shapes are
+# unimportant; what matters is that the 10 classes are distinct stroke
+# patterns unfolding over image rows (== LSTM time steps).
+_STROKES: dict[int, list[tuple[float, float, float, float]]] = {
+    0: [(0.1, 0.2, 0.1, 0.8), (0.9, 0.2, 0.9, 0.8), (0.1, 0.2, 0.9, 0.2), (0.1, 0.8, 0.9, 0.8)],
+    1: [(0.1, 0.5, 0.9, 0.5)],
+    2: [(0.1, 0.2, 0.1, 0.8), (0.1, 0.8, 0.5, 0.8), (0.5, 0.2, 0.5, 0.8), (0.5, 0.2, 0.9, 0.2), (0.9, 0.2, 0.9, 0.8)],
+    3: [(0.1, 0.2, 0.1, 0.8), (0.5, 0.3, 0.5, 0.8), (0.9, 0.2, 0.9, 0.8), (0.1, 0.8, 0.9, 0.8)],
+    4: [(0.1, 0.2, 0.5, 0.2), (0.5, 0.2, 0.5, 0.8), (0.1, 0.8, 0.9, 0.8)],
+    5: [(0.1, 0.2, 0.1, 0.8), (0.1, 0.2, 0.5, 0.2), (0.5, 0.2, 0.5, 0.8), (0.5, 0.8, 0.9, 0.8), (0.9, 0.2, 0.9, 0.8)],
+    6: [(0.1, 0.2, 0.9, 0.2), (0.5, 0.2, 0.5, 0.8), (0.9, 0.2, 0.9, 0.8), (0.5, 0.8, 0.9, 0.8)],
+    7: [(0.1, 0.2, 0.1, 0.8), (0.1, 0.8, 0.9, 0.3)],
+    8: [(0.1, 0.2, 0.1, 0.8), (0.5, 0.2, 0.5, 0.8), (0.9, 0.2, 0.9, 0.8), (0.1, 0.2, 0.9, 0.2), (0.1, 0.8, 0.9, 0.8)],
+    9: [(0.1, 0.2, 0.1, 0.8), (0.1, 0.2, 0.5, 0.2), (0.5, 0.2, 0.5, 0.8), (0.1, 0.8, 0.9, 0.8)],
+}
+
+
+def _render_prototype(digit: int, size: int = IMAGE_SIZE) -> np.ndarray:
+    """Rasterise a digit's strokes to a soft-edged grayscale image."""
+    canvas = np.zeros((size, size))
+    ys, xs = np.mgrid[0:size, 0:size] / (size - 1)
+    width = 0.06
+    for r0, c0, r1, c1 in _STROKES[digit]:
+        # distance from each pixel to the stroke segment
+        dr, dc = r1 - r0, c1 - c0
+        length_sq = dr * dr + dc * dc
+        t = ((ys - r0) * dr + (xs - c0) * dc) / max(length_sq, 1e-12)
+        t = np.clip(t, 0.0, 1.0)
+        dist = np.sqrt((ys - (r0 + t * dr)) ** 2 + (xs - (c0 + t * dc)) ** 2)
+        canvas = np.maximum(canvas, np.exp(-((dist / width) ** 2)))
+    return canvas
+
+
+def make_sequential_mnist(
+    n_train: int,
+    n_test: int,
+    rng,
+    noise: float = 0.25,
+    max_shift: int = 2,
+    size: int = IMAGE_SIZE,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Generate the train/test splits.
+
+    Returns datasets whose inputs have shape ``(n, size, size)`` — already
+    in (time step, feature) layout for the LSTM — and integer targets in
+    ``[0, 10)``.  Class balance is exact up to rounding.  ``size`` defaults
+    to the paper's 28; the smoke preset uses 14 (half resolution, half the
+    LSTM steps) to keep full batch-ladder sweeps fast.
+    """
+    proto = np.stack([_render_prototype(d, size) for d in range(NUM_CLASSES)])
+    train_rng, test_rng = spawn(rng, 2)
+
+    def _sample(n: int, gen: np.random.Generator) -> ArrayDataset:
+        labels = np.arange(n) % NUM_CLASSES
+        gen.shuffle(labels)
+        images = np.empty((n, size, size))
+        shifts_r = gen.integers(-max_shift, max_shift + 1, size=n)
+        shifts_c = gen.integers(-max_shift, max_shift + 1, size=n)
+        amp = gen.uniform(0.8, 1.2, size=n)
+        for i in range(n):
+            img = np.roll(proto[labels[i]], (shifts_r[i], shifts_c[i]), axis=(0, 1))
+            images[i] = amp[i] * img
+        images += noise * gen.standard_normal(images.shape)
+        return ArrayDataset(images.clip(0.0, 1.5), labels.astype(np.int64))
+
+    return _sample(n_train, as_generator(train_rng)), _sample(
+        n_test, as_generator(test_rng)
+    )

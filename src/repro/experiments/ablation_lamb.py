@@ -1,0 +1,69 @@
+"""Ablation — LARS vs LAMB under the identical LEGW schedule.
+
+LAMB (You et al. 2019) is the paper's first author's follow-up: the
+layer-wise trust ratio applied to Adam's update instead of the raw
+gradient.  This ablation runs both solvers across the ResNet batch
+ladder with the *same* LEGW schedule shape (sqrt peak LR, linear-epoch
+warmup, multi-step decay); each solver uses its own once-calibrated base
+LR (LARS and LAMB live on different LR scales by construction), tuned at
+the base batch exactly like every other baseline in this repo.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import build_workload, score_of
+from repro.optim import LAMB
+from repro.schedules import LEGW
+from repro.train import Trainer
+from repro.utils.tables import Table
+
+# calibrated once at the base batch (see EXPERIMENTS.md)
+LAMB_BASE_LR = 0.02
+
+
+def _run_lamb(wl, batch: int, seed: int) -> float:
+    schedule = LEGW(
+        LAMB_BASE_LR,
+        wl.base_batch,
+        wl.base_warmup_epochs,
+        batch,
+        wl.steps_per_epoch(batch),
+        decay=wl._decay_factory(batch),
+    )
+    model = wl.make_model(seed)
+    optimizer = LAMB(model, lr=LAMB_BASE_LR, weight_decay=1e-4)
+    trainer = Trainer(
+        model.loss,
+        optimizer,
+        schedule,
+        wl.make_train_iter(batch, seed + 1),
+        eval_fn=wl.make_eval_fn(model),
+        grad_clip=wl.grad_clip,
+    )
+    return score_of(trainer.run(wl.epochs), wl.metric)
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    wl = build_workload("resnet", preset)
+    table = Table(
+        "Ablation: LARS vs LAMB under the same LEGW schedule (mini-ResNet "
+        f"top-5, {wl.epochs} epochs)",
+        ["batch", "paper batch", "LARS", "LAMB"],
+    )
+    series: dict[str, list[float]] = {"lars": [], "lamb": []}
+    for batch in wl.batches:
+        lars_score = score_of(wl.run_legw(batch, seed=seed), wl.metric)
+        lamb_score = _run_lamb(wl, batch, seed)
+        series["lars"].append(lars_score)
+        series["lamb"].append(lamb_score)
+        table.add_row([batch, wl.paper_batch(batch), lars_score, lamb_score])
+    return {
+        "batches": list(wl.batches),
+        "series": series,
+        "rows": table.to_dicts(),
+        "text": table.render(),
+    }
+
+
+if __name__ == "__main__":
+    print(run()["text"])

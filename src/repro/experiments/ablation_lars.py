@@ -1,0 +1,56 @@
+"""Ablation — LARS trust-coefficient sensitivity at large batch.
+
+The paper pairs LEGW with LARS for ResNet and PTB-large but never tunes
+the trust coefficient per batch size.  This ablation sweeps it at the
+largest ResNet batch under the untouched LEGW schedule, mapping how much
+of LEGW's robustness depends on LARS being in a reasonable regime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import build_workload, score_of
+from repro.optim import LARS
+from repro.train import Trainer
+from repro.utils.tables import Table
+
+TRUST_COEFFICIENTS = (0.005, 0.01, 0.02, 0.05, 0.1)
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    wl = build_workload("resnet", preset)
+    batch = wl.batches[-1]
+    sched = wl.legw_schedule(batch)
+    table = Table(
+        f"Ablation: LARS trust coefficient at batch {batch} under LEGW",
+        ["trust coefficient", "top5", "top1"],
+    )
+    results: dict[float, dict[str, float]] = {}
+    for tc in TRUST_COEFFICIENTS:
+        model = wl.make_model(seed)
+        optimizer = LARS(
+            model, lr=wl.base_lr, weight_decay=1e-4, trust_coefficient=tc
+        )
+        trainer = Trainer(
+            model.loss,
+            optimizer,
+            sched,
+            wl.make_train_iter(batch, seed + 1),
+            eval_fn=wl.make_eval_fn(model),
+            grad_clip=wl.grad_clip,
+        )
+        result = trainer.run(wl.epochs)
+        results[tc] = {
+            "top5": score_of(result, "top5"),
+            "top1": score_of(result, "top1"),
+        }
+        table.add_row([tc, results[tc]["top5"], results[tc]["top1"]])
+    return {
+        "batch": batch,
+        "results": results,
+        "rows": table.to_dicts(),
+        "text": table.render(),
+    }
+
+
+if __name__ == "__main__":
+    print(run()["text"])

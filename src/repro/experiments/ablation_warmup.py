@@ -1,0 +1,58 @@
+"""Ablation — the warmup-length law, probed where warmup is load-bearing.
+
+At sqrt-scaled (LEGW) learning rates warmup is a safety margin; at
+*linearly*-scaled rates it is the difference between convergence and
+blow-up (the regime Goyal et al. designed warmup for).  This ablation
+takes PTB-small at the largest batch, fixes the linearly-scaled peak LR,
+and varies only the warmup policy:
+
+* ``none`` — no warmup: the early high-curvature phase at full LR
+  destroys the run;
+* ``constant-epoch`` — the baseline's warmup length unscaled (the
+  pre-LEGW convention): far too short at this batch ratio;
+* ``linear-epoch (LEGW)`` — base_warmup_epochs · k: covers the unstable
+  phase;
+* ``2x linear-epoch`` — twice LEGW's rule: checks the law is not merely
+  "longer is always better enough" (returns are flat past the peak
+  region).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import build_workload, score_of
+from repro.utils.tables import Table
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    wl = build_workload("ptb_small", preset)
+    batch = wl.batches[-1]
+    k = batch / wl.base_batch
+    policies = {
+        "none": 0.0,
+        "constant-epoch": wl.base_warmup_epochs,
+        "linear-epoch (LEGW)": wl.base_warmup_epochs * k,
+        "2x linear-epoch": 2.0 * wl.base_warmup_epochs * k,
+    }
+    table = Table(
+        f"Ablation: warmup length at batch {batch} under linearly-scaled LR "
+        f"(PTB-small, {wl.epochs} epochs, lr = base*{k:g})",
+        ["policy", "warmup epochs", wl.metric],
+    )
+    results: dict[str, float] = {}
+    for name, wu in policies.items():
+        sched = wl.scaled_schedule(batch, "linear", warmup_epochs=wu)
+        score = score_of(wl.run(batch, sched, seed=seed), wl.metric)
+        results[name] = score
+        table.add_row([name, wu, score])
+    return {
+        "batch": batch,
+        "batch_ratio": k,
+        "results": results,
+        "policies": policies,
+        "rows": table.to_dicts(),
+        "text": table.render(),
+    }
+
+
+if __name__ == "__main__":
+    print(run()["text"])

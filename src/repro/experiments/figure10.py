@@ -1,0 +1,19 @@
+"""Figure 10 (appendix) — LEGW vs tuned Adam for PTB-large and GNMT.
+
+Same protocol as Figure 6 (Adam grid-tuned at the base batch, LEGW
+untuned), on the two applications the appendix covers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import run as run_figure6
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    result = run_figure6(preset=preset, seed=seed, apps=("ptb_large", "gnmt"))
+    result["text"] = result["text"].replace("Figure 6", "Figure 10")
+    return result
+
+
+if __name__ == "__main__":
+    print(run()["text"])

@@ -1,0 +1,55 @@
+"""Figure 4 — wall-clock speedup of LEGW's large batches (4 LSTM apps).
+
+Section 7: large batches finish the same number of epochs faster on the
+same hardware because bigger steps amortise fixed per-iteration overhead;
+the paper reports a 5.3× average over MNIST, PTB-small, PTB-large and
+GNMT, with GNMT's endpoints given explicitly (2h+ at batch 256 → 33 min
+at 4096 on one cloud TPU-v2).
+
+This driver evaluates the calibrated device performance model
+(:mod:`repro.parallel.perfmodel`) at the paper-scale batch ladder and
+prints per-app speedup bars plus the average — the same bars the figure
+shows.  No training is involved: the accuracy-preservation half of the
+claim is covered by Figures 1/6 and Tables 2/3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel import APP_DEVICE_MODELS, speedup
+from repro.utils.tables import Table
+
+# (app, paper baseline batch, paper LEGW batch) — Section 5's endpoints.
+LADDER = (
+    ("mnist", 128, 8192),
+    ("ptb_small", 20, 640),
+    ("ptb_large", 20, 640),
+    ("gnmt", 256, 4096),
+)
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    del preset, seed  # analytic model, exact at any preset
+    table = Table(
+        "Figure 4: fixed-epoch speedup of the LEGW batch over the baseline "
+        "(device performance model)",
+        ["app", "baseline batch", "LEGW batch", "speedup"],
+    )
+    speedups: dict[str, float] = {}
+    for app, base, big in LADDER:
+        s = speedup(APP_DEVICE_MODELS[app], base, big)
+        speedups[app] = s
+        table.add_row([app, base, big, s])
+    avg = float(np.mean(list(speedups.values())))
+    table.add_row(["average", "-", "-", avg])
+    return {
+        "speedups": speedups,
+        "average": avg,
+        "rows": table.to_dicts(),
+        "text": table.render(),
+    }
+
+
+if __name__ == "__main__":
+    print(run()["text"])

@@ -1,0 +1,94 @@
+"""Figure 5 — Adam beats the pre-LEGW tuning techniques (MNIST-LSTM).
+
+Four momentum "tuning technique" variants, cumulative as in the paper:
+
+  5.1  η₀ everywhere (the base-batch LR reused at every batch size);
+  5.2  linear scaling (η₀·B/B₀);
+  5.3  linear scaling + poly decay (power 2);
+  5.4  linear scaling + poly decay + 5-epoch warmup (the Goyal recipe);
+
+versus Adam whose LR is grid-tuned once at the base batch (the paper's
+protocol).  Output: accuracy vs batch size per scheme.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Workload, build_workload, score_of
+from repro.schedules import ConstantLR, GradualWarmup, PolynomialDecay
+from repro.train import GridTuner
+from repro.utils.tables import Table
+
+
+def _variant_schedule(wl: Workload, batch: int, variant: str):
+    spe = wl.steps_per_epoch(batch)
+    total_iters = spe * wl.epochs
+    if variant == "eta0":
+        return ConstantLR(wl.base_lr)
+    lr = wl.base_lr * batch / wl.base_batch
+    if variant == "linear":
+        return ConstantLR(lr)
+    if variant == "linear+poly":
+        return PolynomialDecay(lr, total_iters, power=2.0)
+    if variant == "linear+poly+warmup":
+        return GradualWarmup(PolynomialDecay(lr, total_iters, power=2.0), 5 * spe)
+    raise ValueError(variant)
+
+
+VARIANTS = ("eta0", "linear", "linear+poly", "linear+poly+warmup")
+
+
+def adam_grid_for(wl: Workload, preset: str) -> tuple[float, ...]:
+    """The Adam LR grid: full at the ``small`` preset, 3 points at smoke."""
+    if preset == "small":
+        return wl.adam_grid
+    grid = wl.adam_grid
+    return (grid[0], grid[len(grid) // 2], grid[-1])
+
+
+def tune_adam(wl: Workload, preset: str, batch: int, seed: int = 0):
+    """Grid-tune Adam's LR at one batch size (the paper "carefully tuned
+    the learning rate of Adam" — per application and batch size).
+
+    Returns the full :class:`~repro.train.tuner.TuningOutcome` so callers
+    can reuse the best run's score without retraining.
+    """
+    tuner = GridTuner(
+        lambda lr: wl.run_adam(batch, lr, seed=seed), wl.metric, wl.mode
+    )
+    return tuner.sweep(adam_grid_for(wl, preset))
+
+
+def run(preset: str = "smoke", seed: int = 0) -> dict:
+    wl = build_workload("mnist", preset)
+    table = Table(
+        "Figure 5: Adam (LR grid-tuned per batch size) vs momentum tuning "
+        "variants (MNIST-LSTM accuracy)",
+        ["batch"] + list(VARIANTS) + ["adam", "adam lr"],
+    )
+    series: dict[str, list[float]] = {v: [] for v in (*VARIANTS, "adam")}
+    adam_lrs: list[float] = []
+    for batch in wl.batches:
+        row: list = [batch]
+        for variant in VARIANTS:
+            score = score_of(
+                wl.run(batch, _variant_schedule(wl, batch, variant), seed=seed),
+                wl.metric,
+            )
+            series[variant].append(score)
+            row.append(score)
+        outcome = tune_adam(wl, preset, batch, seed)
+        series["adam"].append(outcome.best_score)
+        adam_lrs.append(outcome.best_lr)
+        row.extend([outcome.best_score, outcome.best_lr])
+        table.add_row(row)
+    return {
+        "batches": list(wl.batches),
+        "adam_lrs": adam_lrs,
+        "series": series,
+        "rows": table.to_dicts(),
+        "text": table.render(),
+    }
+
+
+if __name__ == "__main__":
+    print(run()["text"])

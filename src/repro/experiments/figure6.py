@@ -1,0 +1,53 @@
+"""Figure 6 — LEGW vs tuned Adam across batch sizes (4 applications).
+
+Panels: MNIST accuracy, PTB-small perplexity, PTB-large perplexity, GNMT
+BLEU (the paper's four; its 6.3/6.4 and appendix Figure 10 overlap — the
+PTB-large/GNMT panels are shared with the figure10 driver).  Adam's LR is
+grid-tuned at the base batch (Section 5.2's protocol); LEGW is untuned.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import build_workload, score_of
+from repro.experiments.figure5 import tune_adam
+from repro.utils.tables import Table
+
+DEFAULT_APPS = ("mnist", "ptb_small", "gnmt")
+
+
+def run(preset: str = "smoke", seed: int = 0, apps: tuple[str, ...] = DEFAULT_APPS) -> dict:
+    panels: dict[str, dict] = {}
+    texts: list[str] = []
+    for app in apps:
+        wl = build_workload(app, preset)
+        table = Table(
+            f"Figure 6 [{app}]: LEGW (untuned) vs Adam (LR grid-tuned per "
+            f"batch size) — {wl.metric}",
+            ["batch", "paper batch", "LEGW", "Adam", "Adam lr"],
+        )
+        legw_scores, adam_scores, adam_lrs = [], [], []
+        for batch in wl.batches:
+            s_legw = score_of(wl.run_legw(batch, seed=seed), wl.metric)
+            outcome = tune_adam(wl, preset, batch, seed)
+            legw_scores.append(s_legw)
+            adam_scores.append(outcome.best_score)
+            adam_lrs.append(outcome.best_lr)
+            table.add_row(
+                [batch, wl.paper_batch(batch), s_legw,
+                 outcome.best_score, outcome.best_lr]
+            )
+        panels[app] = {
+            "batches": list(wl.batches),
+            "metric": wl.metric,
+            "mode": wl.mode,
+            "adam_lrs": adam_lrs,
+            "legw": legw_scores,
+            "adam": adam_scores,
+            "rows": table.to_dicts(),
+        }
+        texts.append(table.render())
+    return {"panels": panels, "text": "\n\n".join(texts)}
+
+
+if __name__ == "__main__":
+    print(run()["text"])

@@ -1,0 +1,44 @@
+"""Registry mapping experiment ids to their driver modules.
+
+Populated lazily (drivers import workloads which import models, etc.) so
+``import repro`` stays fast.  Every table and figure of the paper's
+evaluation has an entry; `run_experiment` is the single entry point the
+benchmark suite and the examples share.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+EXPERIMENTS: dict[str, str] = {
+    "figure1": "repro.experiments.figure1",
+    "figure2": "repro.experiments.figure2",
+    "figure3": "repro.experiments.figure3",
+    "figure4": "repro.experiments.figure4",
+    "figure5": "repro.experiments.figure5",
+    "figure6": "repro.experiments.figure6",
+    "figure7": "repro.experiments.figure7",
+    "figure8": "repro.experiments.figure8",
+    "figure9": "repro.experiments.figure9",
+    "figure10": "repro.experiments.figure10",
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2",
+    "table3": "repro.experiments.table3",
+    "ablation_warmup": "repro.experiments.ablation_warmup",
+    "ablation_scaling": "repro.experiments.ablation_scaling",
+    "ablation_allreduce": "repro.experiments.ablation_allreduce",
+    "ablation_lars": "repro.experiments.ablation_lars",
+    "ablation_lamb": "repro.experiments.ablation_lamb",
+    "extension_growbatch": "repro.experiments.extension_growbatch",
+}
+
+
+def run_experiment(experiment_id: str, preset: str = "smoke", **kwargs: Any) -> dict:
+    """Run one experiment driver by id (e.g. ``'table2'``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    return module.run(preset=preset, **kwargs)

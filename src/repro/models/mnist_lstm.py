@@ -1,0 +1,65 @@
+"""The paper's MNIST model (Section 5.1.1).
+
+"We partition each image as 28-step input vectors.  The dimension of each
+input vector is 28-by-1.  Then we have a 128-by-28 transform layer before
+the LSTM layer ... The hidden dimension of LSTM layer is 128.  Thus the
+cell kernel of LSTM layer is a 256-by-512 matrix."
+
+That is exactly this module with the default sizes: ``Linear(28, 128)`` →
+``LSTMCell((128+128), 4·128)`` → classifier on the final hidden state.
+Dimensions are constructor arguments so the test suite can shrink them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, LSTM, Module
+from repro.tensor import Tensor, cross_entropy, no_grad
+from repro.train.metrics import accuracy
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import spawn
+
+
+class MnistLSTMClassifier(Module):
+    def __init__(
+        self,
+        rng,
+        input_dim: int = 28,
+        transform_dim: int = 128,
+        hidden: int = 128,
+        num_classes: int = 10,
+    ) -> None:
+        super().__init__()
+        t_rng, l_rng, h_rng = spawn(rng, 3)
+        self.transform = Linear(input_dim, transform_dim, t_rng)
+        self.lstm = LSTM(transform_dim, hidden, num_layers=1, rng=l_rng)
+        self.head = Linear(hidden, num_classes, h_rng)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """Logits for a batch of (B, T, input_dim) images-as-sequences."""
+        x = Tensor(np.asarray(images))
+        x = x.transpose((1, 0, 2))  # time-major (T, B, D)
+        x = self.transform(x)
+        outputs, _ = self.lstm(x)
+        last = outputs[outputs.shape[0] - 1]  # final step's hidden state
+        return self.head(last)
+
+    def loss(self, batch: tuple[np.ndarray, np.ndarray]) -> Tensor:
+        images, labels = batch
+        return cross_entropy(self.forward(images), labels)
+
+    def evaluate(self, dataset: ArrayDataset, batch_size: int = 256) -> dict[str, float]:
+        """Test accuracy, computed in mini-batches under ``no_grad``."""
+        self.eval()
+        correct_weighted = 0.0
+        total = 0
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                xs = dataset.inputs[start : start + batch_size]
+                ys = dataset.targets[start : start + batch_size]
+                logits = self.forward(xs).data
+                correct_weighted += accuracy(logits, ys) * len(ys)
+                total += len(ys)
+        self.train()
+        return {"accuracy": correct_weighted / total}

@@ -1,0 +1,121 @@
+"""Mini-ResNet — the ImageNet/ResNet-50 substitution (Table 3, Figure 1).
+
+A faithful miniature of the residual recipe: conv stem, stages of
+pre-activationless basic blocks with identity shortcuts (1×1 projection
+when the shape changes), batch norm everywhere, global average pooling and
+a linear classifier.  Width/depth are constructor arguments; the
+experiment drivers use a few thousand parameters so full batch-scaling
+sweeps run in seconds while preserving the LARS/BN/warmup interaction the
+paper studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    Module,
+    ModuleList,
+)
+from repro.tensor import Tensor, cross_entropy, no_grad
+from repro.train.metrics import accuracy, top_k_accuracy
+from repro.utils.rng import spawn
+
+
+class BasicBlock(Module):
+    """conv3×3-BN-ReLU-conv3×3-BN + shortcut, ReLU after the sum."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng):
+        super().__init__()
+        c1_rng, c2_rng, p_rng = spawn(rng, 3)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, c1_rng, stride=stride, padding=1, bias=False
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, c2_rng, stride=1, padding=1, bias=False
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.projection = Conv2d(
+                in_channels, out_channels, 1, p_rng, stride=stride, bias=False
+            )
+            self.proj_bn = BatchNorm2d(out_channels)
+        else:
+            self.projection = None
+            self.proj_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        shortcut = x
+        if self.projection is not None:
+            shortcut = self.proj_bn(self.projection(x))
+        return (out + shortcut).relu()
+
+
+class MiniResNet(Module):
+    """Residual classifier over NCHW images.
+
+    ``stage_channels``/``blocks_per_stage`` set the geometry; the first
+    stage keeps resolution, later stages stride by 2 — the standard ResNet
+    layout at 1/4 scale.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        rng,
+        stage_channels: tuple[int, ...] = (8, 16),
+        blocks_per_stage: int = 2,
+    ) -> None:
+        super().__init__()
+        rngs = spawn(rng, 2 + len(stage_channels) * blocks_per_stage)
+        width = stage_channels[0]
+        self.stem = Conv2d(in_channels, width, 3, rngs[0], padding=1, bias=False)
+        self.stem_bn = BatchNorm2d(width)
+        blocks: list[Module] = []
+        idx = 1
+        in_ch = width
+        for stage, out_ch in enumerate(stage_channels):
+            for block in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                blocks.append(BasicBlock(in_ch, out_ch, stride, rngs[idx]))
+                in_ch = out_ch
+                idx += 1
+        self.blocks = ModuleList(blocks)
+        self.pool = GlobalAvgPool()
+        self.head = Linear(in_ch, num_classes, rngs[idx])
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        x = Tensor(np.asarray(images))
+        x = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.pool(x))
+
+    def loss(self, batch: tuple[np.ndarray, np.ndarray]) -> Tensor:
+        images, labels = batch
+        return cross_entropy(self.forward(images), labels)
+
+    def evaluate(self, dataset: ArrayDataset, batch_size: int = 256) -> dict[str, float]:
+        """Top-1 and Top-5 accuracy (Table 3 reports Top-5)."""
+        self.eval()
+        top1 = top5 = 0.0
+        total = 0
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                xs = dataset.inputs[start : start + batch_size]
+                ys = dataset.targets[start : start + batch_size]
+                logits = self.forward(xs).data
+                top1 += accuracy(logits, ys) * len(ys)
+                top5 += top_k_accuracy(logits, ys, k=5) * len(ys)
+                total += len(ys)
+        self.train()
+        return {"top1": top1 / total, "top5": top5 / total}

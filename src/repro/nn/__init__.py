@@ -1,0 +1,43 @@
+"""Neural-network layers built on :mod:`repro.tensor`.
+
+The layer zoo covers exactly what the paper's five applications need:
+
+* ``Linear``/``Embedding``/``Dropout`` — common glue;
+* ``LSTMCell``/``LSTM`` — the recurrent core (multi-layer, optional
+  bidirectional first layer and residual connections, as in GNMT);
+* ``BahdanauAttention`` — the normalized ``gnmt_v2`` attention mechanism;
+* ``Conv2d``/``BatchNorm2d``/pooling/``ResidualBlock`` via
+  :mod:`repro.models.resnet` — the CNN side;
+* losses with sequence masking and label smoothing.
+"""
+
+from repro.nn.module import Module, ModuleList, Sequential, Parameter
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.dropout import Dropout
+from repro.nn.recurrent import LSTMCell, LSTM
+from repro.nn.attention import BahdanauAttention
+from repro.nn.convnet import Conv2d, BatchNorm2d, MaxPool2d, AvgPool2d, GlobalAvgPool
+from repro.nn.losses import CrossEntropyLoss, SequenceCrossEntropy
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "init",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LSTMCell",
+    "LSTM",
+    "BahdanauAttention",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "CrossEntropyLoss",
+    "SequenceCrossEntropy",
+]

@@ -1,0 +1,90 @@
+"""Bahdanau (additive) attention, with the normalized ``gnmt_v2`` variant.
+
+Score of decoder query ``q`` against encoder key ``k_t``:
+
+    score_t = v^T tanh(W_k k_t + W_q q + b)
+
+The normalized variant (Weight Normalization of ``v``) replaces ``v`` with
+``g * v / ||v||`` — this is the "normalized Bahdanau attention (gnmt_v2
+attention mechanism)" the paper uses for GNMT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.nnops import softmax
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import spawn
+
+
+class BahdanauAttention(Module):
+    """Additive attention over a time-major memory.
+
+    Parameters
+    ----------
+    key_size:
+        Feature size of the encoder memory (e.g. ``2 * hidden`` for a
+        bidirectional encoder output, ``hidden`` here after projection).
+    query_size:
+        Feature size of the decoder query.
+    attn_size:
+        Inner projection width.
+    normalize:
+        Use the weight-normalized score vector (gnmt_v2).
+    """
+
+    def __init__(
+        self,
+        key_size: int,
+        query_size: int,
+        attn_size: int,
+        rng,
+        normalize: bool = True,
+    ) -> None:
+        super().__init__()
+        k_rng, q_rng, v_rng = spawn(rng, 3)
+        self.w_keys = Parameter(init.xavier_uniform((key_size, attn_size), k_rng))
+        self.w_query = Parameter(init.xavier_uniform((query_size, attn_size), q_rng))
+        self.bias = Parameter(np.zeros(attn_size))
+        self.v = Parameter(init.xavier_uniform((attn_size, 1), v_rng)[:, 0])
+        self.normalize = normalize
+        if normalize:
+            # g initialised to sqrt(1/attn_size), matching TF's seq2seq impl
+            self.g = Parameter(np.sqrt(1.0 / attn_size))
+
+    def project_keys(self, memory: Tensor) -> Tensor:
+        """Precompute ``W_k @ memory`` once per source sentence.
+
+        ``memory`` is (T, B, key_size); the result (T, B, attn_size) can be
+        reused for every decoder step, which dominates decoding cost.
+        """
+        return memory @ self.w_keys
+
+    def forward(
+        self,
+        query: Tensor,
+        projected_keys: Tensor,
+        memory: Tensor,
+        mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Attend: returns (context (B, key_size), weights (T, B)).
+
+        ``mask`` is an optional (T, B) 0/1 array; zero positions (source
+        padding) are excluded from the softmax.
+        """
+        q_proj = query @ self.w_query  # (B, A)
+        scores_pre = (projected_keys + q_proj + self.bias).tanh()  # (T, B, A)
+        if self.normalize:
+            v_norm = self.v * (self.g / self.v.norm())
+        else:
+            v_norm = self.v
+        scores = scores_pre @ v_norm  # (T, B)
+        if mask is not None:
+            scores = scores + (-1e9) * (1.0 - np.asarray(mask, dtype=np.float64))
+        weights = softmax(scores, axis=0)
+        T, B = weights.shape
+        context = (weights.reshape(T, B, 1) * memory).sum(axis=0)
+        return context, weights

@@ -1,0 +1,29 @@
+"""Dropout layer with an owned, deterministic RNG stream."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.nnops import dropout_mask
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    The layer owns a generator spawned at construction, so two models built
+    from the same seed draw identical masks — keeping LEGW-vs-baseline
+    comparisons free of mask noise.
+    """
+
+    def __init__(self, p: float, rng) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._buffer_rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        return dropout_mask(x, self.p, self._buffer_rng)

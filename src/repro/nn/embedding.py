@@ -1,0 +1,29 @@
+"""Token embedding table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.nnops import embedding_lookup
+from repro.tensor.tensor import Tensor
+
+
+class Embedding(Module):
+    """Lookup of dense vectors by integer token id.
+
+    ``forward`` takes a plain integer ndarray of any shape and returns a
+    tensor of shape ``indices.shape + (dim,)``.  Backward scatter-adds into
+    the table, so rows of unused tokens receive exactly zero gradient — a
+    property the optimizer tests rely on.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng, init_scale: float = 0.1):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.uniform((num_embeddings, dim), rng, init_scale))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)

@@ -1,0 +1,41 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import spawn
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with W of shape (in_features, out_features).
+
+    Accepts inputs with any number of leading batch/time axes; the matmul
+    broadcasts over them.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng,
+        bias: bool = True,
+        init_scale: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        (w_rng,) = spawn(rng, 1)
+        if init_scale is None:
+            w = init.xavier_uniform((in_features, out_features), w_rng)
+        else:
+            w = init.uniform((in_features, out_features), w_rng, init_scale)
+        self.weight = Parameter(w)
+        self.bias = Parameter([0.0] * out_features) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

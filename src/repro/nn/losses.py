@@ -1,0 +1,52 @@
+"""Loss modules.
+
+Both losses reduce to a *per-example / per-token mean*, which is the
+convention the large-batch scaling rules assume: Equation (3) of the paper
+divides the summed gradient by the batch size ``b``, so the gradient
+magnitude stays O(1) as batch grows and all LR scaling is explicit in the
+schedule, never implicit in the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.nnops import cross_entropy
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over a batch of logits (B, num_classes)."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(
+            logits, targets, label_smoothing=self.label_smoothing
+        )
+
+
+class SequenceCrossEntropy(Module):
+    """Per-token mean cross-entropy over (T, B, vocab) logits with padding mask.
+
+    The returned scalar is directly ``log(perplexity)`` for language
+    modelling, and matches the GNMT training objective when
+    ``label_smoothing > 0``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        return cross_entropy(
+            logits, targets, mask=mask, label_smoothing=self.label_smoothing
+        )

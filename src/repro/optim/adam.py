@@ -1,0 +1,40 @@
+"""Adam (Kingma & Ba, 2014) — the paper's adaptive-solver baseline.
+
+Section 5.2 carefully tunes Adam's learning rate over the grids given in
+the paper; :class:`repro.train.tuner.GridTuner` reproduces that sweep.
+Bias correction follows the original paper exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr, weight_decay)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        st = self._get_state(
+            name, m=np.zeros_like(p.data), v=np.zeros_like(p.data)
+        )
+        t = self.iteration  # step() increments before updates
+        st["m"] = self.beta1 * st["m"] + (1.0 - self.beta1) * grad
+        st["v"] = self.beta2 * st["v"] + (1.0 - self.beta2) * grad * grad
+        m_hat = st["m"] / (1.0 - self.beta1**t)
+        v_hat = st["v"] / (1.0 - self.beta2**t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,73 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def _named_params(
+    params: "Module | Sequence[tuple[str, Tensor]] | Sequence[Tensor]",
+) -> list[tuple[str, Tensor]]:
+    if isinstance(params, Module):
+        return list(params.named_parameters())
+    params = list(params)
+    if params and isinstance(params[0], Tensor):
+        return [(f"param{i}", p) for i, p in enumerate(params)]
+    return list(params)  # type: ignore[return-value]
+
+
+class Optimizer:
+    """Common machinery: parameter registry, lr attribute, weight decay.
+
+    Subclasses implement :meth:`_update` returning the step (to be
+    subtracted) for one parameter.  Per-parameter state lives in
+    ``self.state[name]`` dictionaries created lazily.
+
+    ``weight_decay`` here is coupled L2 regularisation — the decay term is
+    added to the gradient before any adaptive scaling, matching the
+    implementations the paper compares (and what LARS's trust ratio
+    expects).
+    """
+
+    def __init__(self, params, lr: float, weight_decay: float = 0.0) -> None:
+        self.params = _named_params(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.state: dict[str, dict[str, np.ndarray]] = {}
+        self.iteration = 0
+
+    # -- main entry ---------------------------------------------------------
+
+    def step(self, lr: float | None = None) -> None:
+        """Apply one update using ``lr`` (or the stored ``self.lr``)."""
+        if lr is not None:
+            self.lr = float(lr)
+        self.iteration += 1
+        for name, p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay != 0.0:
+                grad = grad + self.weight_decay * p.data
+            p.data -= self._update(name, p, grad)
+
+    def zero_grad(self) -> None:
+        for _, p in self.params:
+            p.grad = None
+
+    # -- subclass API ----------------------------------------------------------
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _get_state(self, name: str, **arrays: np.ndarray) -> dict[str, np.ndarray]:
+        if name not in self.state:
+            self.state[name] = {k: v.copy() for k, v in arrays.items()}
+        return self.state[name]

@@ -1,0 +1,37 @@
+"""Global-norm gradient clipping.
+
+Both PTB models and GNMT clip by global norm in the reference
+implementations the paper builds on; clipping is applied between
+``backward()`` and ``optimizer.step()`` by the trainer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.tensor.tensor import Tensor
+
+
+def global_grad_norm(params: Sequence[Tensor]) -> float:
+    """L2 norm of the concatenation of all parameter gradients."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad * p.grad).sum())
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for divergence diagnostics in the
+    warmup experiments).
+    """
+    params = [p for p in params if p.grad is not None]
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm

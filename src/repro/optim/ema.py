@@ -1,0 +1,72 @@
+"""Exponential moving average of model weights (Polyak averaging).
+
+A standard companion to large-batch training: the paper's fixed-epoch
+protocol leaves large-batch runs with few, large steps, and evaluating an
+EMA of the iterates smooths the tail.  ``EMAWeights`` shadows a model's
+parameters and can be swapped in/out around evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class EMAWeights:
+    """Shadow copy ``s ← d·s + (1−d)·w`` updated after each optimizer step.
+
+    Use :meth:`swap_in` / :meth:`swap_out` (or the context manager) around
+    evaluation; swapping is involutive and loses nothing.
+    """
+
+    def __init__(self, params: Sequence[tuple[str, Tensor]] | Sequence[Tensor],
+                 decay: float = 0.99):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        if params and isinstance(params[0], Tensor):
+            params = [(f"param{i}", p) for i, p in enumerate(params)]
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("EMA got an empty parameter list")
+        self.decay = float(decay)
+        self.shadow = {name: p.data.copy() for name, p in self.params}
+        self._swapped = False
+
+    def update(self) -> None:
+        """Fold the current weights into the shadow (call after step())."""
+        if self._swapped:
+            raise RuntimeError("cannot update while shadow weights are live")
+        d = self.decay
+        for name, p in self.params:
+            self.shadow[name] *= d
+            self.shadow[name] += (1.0 - d) * p.data
+
+    def swap_in(self) -> None:
+        """Exchange live and shadow weights (evaluate the average)."""
+        if self._swapped:
+            raise RuntimeError("shadow weights already live")
+        for name, p in self.params:
+            tmp = p.data.copy()
+            p.data[...] = self.shadow[name]
+            self.shadow[name] = tmp
+        self._swapped = True
+
+    def swap_out(self) -> None:
+        """Restore the live training weights."""
+        if not self._swapped:
+            raise RuntimeError("shadow weights are not live")
+        for name, p in self.params:
+            tmp = p.data.copy()
+            p.data[...] = self.shadow[name]
+            self.shadow[name] = tmp
+        self._swapped = False
+
+    def __enter__(self) -> "EMAWeights":
+        self.swap_in()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.swap_out()

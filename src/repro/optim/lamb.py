@@ -1,0 +1,68 @@
+"""LAMB — Layer-wise Adaptive Moments (You et al., 2019).
+
+The direct successor to LARS by the same first author, published the year
+after this paper: apply the LARS trust-ratio idea to Adam's update
+instead of the raw gradient, which extended large-batch training from
+ResNet/LSTM to BERT.  Included here as the natural "and beyond" extension
+— the LARS-vs-LAMB ablation bench runs both under the identical LEGW
+schedule.
+
+Per parameter tensor:
+
+    m ← β₁ m + (1−β₁) g           (bias-corrected, as in Adam)
+    v ← β₂ v + (1−β₂) g²
+    u = m̂ / (sqrt(v̂) + ε) + β w    (the Adam step plus decoupled decay)
+    λ = φ(||w||) / ||u||           (trust ratio; φ = identity, like LARS)
+    w ← w − γ λ u
+
+with λ = 1 for 1-D parameters and whenever either norm is 0, matching the
+LARS conventions used elsewhere in this package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class LAMB(Optimizer):
+    def __init__(
+        self,
+        params,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-6,
+        weight_decay: float = 0.0,
+    ):
+        # decay is decoupled (applied inside the update), bypass base handling
+        super().__init__(params, lr, weight_decay=0.0)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.decoupled_decay = float(weight_decay)
+
+    def trust_ratio(self, p: Tensor, update: np.ndarray) -> float:
+        if p.data.ndim < 2:
+            return 1.0
+        w_norm = float(np.linalg.norm(p.data))
+        u_norm = float(np.linalg.norm(update))
+        if w_norm == 0.0 or u_norm == 0.0:
+            return 1.0
+        return w_norm / u_norm
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        st = self._get_state(
+            name, m=np.zeros_like(p.data), v=np.zeros_like(p.data)
+        )
+        t = self.iteration
+        st["m"] = self.beta1 * st["m"] + (1.0 - self.beta1) * grad
+        st["v"] = self.beta2 * st["v"] + (1.0 - self.beta2) * grad * grad
+        m_hat = st["m"] / (1.0 - self.beta1**t)
+        v_hat = st["v"] / (1.0 - self.beta2**t)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.decoupled_decay != 0.0:
+            update = update + self.decoupled_decay * p.data
+        return self.lr * self.trust_ratio(p, update) * update

@@ -1,0 +1,63 @@
+"""LARS — Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg 2017).
+
+The solver the paper combines with LEGW for PTB-large and
+ImageNet/ResNet-50 at batch 32K.  Per layer (i.e. per named parameter
+tensor) the *local* learning rate is
+
+    λ = η_trust · ||w|| / (||∇L|| + β·||w|| + ε)
+
+and the update uses momentum on the locally-rescaled gradient:
+
+    v ← m·v + γ · λ · (∇L + β·w);   w ← w − v
+
+where γ is the global LR from the schedule (LEGW's subject) and β the
+weight decay.  Following common practice (and the TPU implementation the
+paper acknowledges), the trust ratio is only applied to tensors with
+ndim ≥ 2 — biases and norm scales use the plain momentum path — and λ
+falls back to 1 when either norm is zero (e.g. at a zero-initialised
+layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class LARS(Optimizer):
+    def __init__(
+        self,
+        params,
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-9,
+    ):
+        # weight decay handled inside the trust ratio: bypass base handling
+        super().__init__(params, lr, weight_decay=0.0)
+        self.momentum = float(momentum)
+        self.beta = float(weight_decay)
+        self.trust_coefficient = float(trust_coefficient)
+        self.eps = float(eps)
+
+    def trust_ratio(self, p: Tensor, grad: np.ndarray) -> float:
+        """The local LR multiplier λ for one parameter tensor."""
+        if p.data.ndim < 2:
+            return 1.0
+        w_norm = float(np.linalg.norm(p.data))
+        g_norm = float(np.linalg.norm(grad))
+        if w_norm == 0.0 or g_norm == 0.0:
+            return 1.0
+        return self.trust_coefficient * w_norm / (
+            g_norm + self.beta * w_norm + self.eps
+        )
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        st = self._get_state(name, v=np.zeros_like(p.data))
+        effective = grad + self.beta * p.data
+        lam = self.trust_ratio(p, grad)
+        st["v"] = self.momentum * st["v"] + self.lr * lam * effective
+        return st["v"]

@@ -1,0 +1,47 @@
+"""SGD-family solvers: vanilla, heavy-ball momentum, Nesterov."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class SGD(Optimizer):
+    """Plain mini-batch SGD: ``w <- w - lr * g`` (Equation 4 of the paper)."""
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        return self.lr * grad
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum, the paper's workhorse baseline (momentum=0.9).
+
+    ``v <- m*v + g;  w <- w - lr * v`` — the TensorFlow ``MomentumOptimizer``
+    form, where the learning rate multiplies the velocity at application
+    time.  This matters for warmup: changing lr mid-flight immediately
+    rescales the whole accumulated velocity, exactly the behaviour the
+    original LEGW experiments had.
+    """
+
+    def __init__(self, params, lr: float, momentum: float = 0.9, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = float(momentum)
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        st = self._get_state(name, v=np.zeros_like(p.data))
+        st["v"] = self.momentum * st["v"] + grad
+        return self.lr * st["v"]
+
+
+class Nesterov(Momentum):
+    """Nesterov accelerated gradient in the Sutskever et al. (2013) form:
+
+    ``v <- m*v + g;  w <- w - lr * (g + m*v)``
+    """
+
+    def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
+        st = self._get_state(name, v=np.zeros_like(p.data))
+        st["v"] = self.momentum * st["v"] + grad
+        return self.lr * (grad + self.momentum * st["v"])

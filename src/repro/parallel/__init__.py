@@ -1,0 +1,47 @@
+"""Simulated data-parallel substrate.
+
+The paper's speedups come from running large batches on TPU pods.  Offline
+we rebuild the two ingredients:
+
+* **numerically exact collectives** (:mod:`repro.parallel.allreduce`) —
+  ring, tree (recursive halving-doubling) and naive gather-broadcast
+  all-reduce over per-worker gradient arrays, used by
+  :class:`~repro.parallel.cluster.SimCluster` to show the defining
+  equivalence of data parallelism: the all-reduced mean of per-shard
+  gradients equals the single large-batch gradient;
+* **an α-β communication + device cost model**
+  (:mod:`repro.parallel.cost`, :mod:`repro.parallel.perfmodel`) that turns
+  batch sizes into wall-clock estimates, calibrated per application to the
+  hardware numbers the paper reports (DESIGN.md §2) — this regenerates the
+  Figure 4 speedup bars and the 5.3× average.
+"""
+
+from repro.parallel.allreduce import (
+    ring_allreduce,
+    tree_allreduce,
+    naive_allreduce,
+    allreduce_mean,
+)
+from repro.parallel.cost import CommModel, ring_time, tree_time, naive_time
+from repro.parallel.cluster import SimCluster, shard_batch
+from repro.parallel.mp import MultiprocessCluster
+from repro.parallel.perfmodel import DeviceModel, APP_DEVICE_MODELS, epoch_time, training_time, speedup
+
+__all__ = [
+    "MultiprocessCluster",
+    "ring_allreduce",
+    "tree_allreduce",
+    "naive_allreduce",
+    "allreduce_mean",
+    "CommModel",
+    "ring_time",
+    "tree_time",
+    "naive_time",
+    "SimCluster",
+    "shard_batch",
+    "DeviceModel",
+    "APP_DEVICE_MODELS",
+    "epoch_time",
+    "training_time",
+    "speedup",
+]

@@ -1,0 +1,112 @@
+"""All-reduce collectives, simulated numerically over per-worker buffers.
+
+Each algorithm takes ``buffers`` — one 1-D float array per worker — and
+returns the list of per-worker results, every one equal to the elementwise
+sum (bit-for-bit identical across workers, like a real deterministic
+all-reduce).  The implementations follow the classic communication
+schedules step by step (ring reduce-scatter + all-gather; recursive
+halving/doubling; gather-to-root + broadcast) rather than calling
+``np.sum`` directly, so the tests can count rounds and verify the
+schedules, and the ablation bench can relate algorithm structure to the
+cost model's predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(buffers: list[np.ndarray]) -> tuple[int, int]:
+    if not buffers:
+        raise ValueError("need at least one worker buffer")
+    n = buffers[0].size
+    for b in buffers:
+        if b.ndim != 1 or b.size != n:
+            raise ValueError("all buffers must be 1-D and equally sized")
+    return len(buffers), n
+
+
+def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Ring all-reduce: reduce-scatter then all-gather, 2(p−1) rounds.
+
+    Each worker ends with the exact elementwise sum.  Chunk ``i`` is
+    finalised on worker ``(i+1) mod p`` after the reduce-scatter phase, as
+    in the Baidu/Horovod ring.
+    """
+    p, n = _validate(buffers)
+    if p == 1:
+        return [buffers[0].copy()]
+    chunks = [np.array_split(b.astype(np.float64).copy(), p) for b in buffers]
+    # reduce-scatter: at step s, worker w sends chunk (w - s) to worker w+1
+    for step in range(p - 1):
+        transfers = []
+        for w in range(p):
+            src_chunk = (w - step) % p
+            dst = (w + 1) % p
+            transfers.append((dst, src_chunk, chunks[w][src_chunk]))
+        for dst, c, data in transfers:
+            chunks[dst][c] = chunks[dst][c] + data
+    # all-gather: circulate the finalised chunks
+    for step in range(p - 1):
+        transfers = []
+        for w in range(p):
+            src_chunk = (w + 1 - step) % p
+            dst = (w + 1) % p
+            transfers.append((dst, src_chunk, chunks[w][src_chunk]))
+        for dst, c, data in transfers:
+            chunks[dst][c] = data.copy()
+    return [np.concatenate(chunks[w]) for w in range(p)]
+
+
+def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Recursive-doubling all-reduce (power-of-two worker counts).
+
+    ``log2(p)`` rounds; in round ``s`` worker ``w`` exchanges its full
+    buffer with partner ``w XOR 2^s`` and both add.  Non-power-of-two
+    counts fall back to a pre-reduction of the excess workers onto the
+    leading power-of-two block, then a broadcast back.
+    """
+    p, n = _validate(buffers)
+    work = [b.astype(np.float64).copy() for b in buffers]
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    # fold excess workers into the first block
+    for extra in range(pow2, p):
+        work[extra - pow2] = work[extra - pow2] + work[extra]
+    step = 1
+    while step < pow2:
+        new = [w.copy() for w in work[:pow2]]
+        for w in range(pow2):
+            partner = w ^ step
+            new[w] = work[w] + work[partner]
+        work[:pow2] = new
+        step *= 2
+    for extra in range(pow2, p):
+        work[extra] = work[extra - pow2].copy()
+    return work
+
+
+def naive_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Gather-to-root + broadcast — the O(p·n) strawman baseline."""
+    p, n = _validate(buffers)
+    root = buffers[0].astype(np.float64).copy()
+    for b in buffers[1:]:
+        root = root + b
+    return [root.copy() for _ in range(p)]
+
+
+def allreduce_mean(
+    buffers: list[np.ndarray], algorithm: str = "ring"
+) -> list[np.ndarray]:
+    """All-reduce then divide by the worker count (gradient averaging)."""
+    algos = {
+        "ring": ring_allreduce,
+        "tree": tree_allreduce,
+        "naive": naive_allreduce,
+    }
+    if algorithm not in algos:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    summed = algos[algorithm](buffers)
+    p = len(buffers)
+    return [s / p for s in summed]

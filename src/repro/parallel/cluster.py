@@ -1,0 +1,113 @@
+"""Simulated data-parallel cluster.
+
+``SimCluster`` executes one *logical* large-batch SGD step the way a
+``p``-worker synchronous data-parallel system would: shard the global
+batch, compute each worker's gradient with the real autograd engine,
+average via a simulated all-reduce, and apply one optimizer update.
+
+The key invariant (verified by the test suite) is the one all large-batch
+scaling arguments rest on: because the loss is a per-example mean, the
+all-reduced mean of per-shard gradients equals the single-process gradient
+of the full batch — so LEGW experiments run single-process are *exact*
+simulations of the distributed runs in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.parallel.allreduce import allreduce_mean
+from repro.tensor.tensor import Tensor
+
+
+def shard_batch(batch_arrays: Sequence[np.ndarray], p: int) -> list[tuple[np.ndarray, ...]]:
+    """Split the leading axis of every array in the batch into ``p`` shards.
+
+    Shard sizes follow ``np.array_split`` semantics (first shards one
+    larger when uneven); every worker receives at least one example, so
+    ``p`` must not exceed the batch size.
+    """
+    n = len(batch_arrays[0])
+    if p < 1:
+        raise ValueError("worker count must be >= 1")
+    if p > n:
+        raise ValueError(f"cannot shard a batch of {n} across {p} workers")
+    split = [np.array_split(np.asarray(a), p) for a in batch_arrays]
+    return [tuple(split[j][w] for j in range(len(batch_arrays))) for w in range(p)]
+
+
+class SimCluster:
+    """Synchronous data-parallel executor over the real autograd model.
+
+    Parameters
+    ----------
+    params:
+        The model's trainable tensors (shared by all simulated workers —
+        synchronous SGD keeps replicas identical, so one copy suffices).
+    loss_fn:
+        ``loss_fn(shard_batch) -> Tensor`` computing a *mean* loss over the
+        shard.
+    n_workers:
+        Simulated worker count.
+    algorithm:
+        All-reduce flavour (``ring``/``tree``/``naive``).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        loss_fn: Callable[[tuple[np.ndarray, ...]], Tensor],
+        n_workers: int,
+        algorithm: str = "ring",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.params = list(params)
+        self.loss_fn = loss_fn
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+
+    def gradient_step(
+        self, batch_arrays: Sequence[np.ndarray]
+    ) -> tuple[float, list[np.ndarray]]:
+        """Compute the all-reduced global-batch gradient.
+
+        Returns ``(weighted mean loss, flat per-param gradient list)`` and
+        leaves the averaged gradients installed in ``param.grad`` so any
+        :class:`repro.optim.Optimizer` can apply the update.
+        """
+        shards = shard_batch(batch_arrays, self.n_workers)
+        shard_sizes = np.array([len(s[0]) for s in shards], dtype=np.float64)
+        weights = shard_sizes / shard_sizes.sum()
+        flat_grads: list[np.ndarray] = []
+        losses: list[float] = []
+        for shard, w in zip(shards, weights):
+            for p in self.params:
+                p.grad = None
+            loss = self.loss_fn(shard)
+            loss.backward()
+            losses.append(float(loss.data))
+            # weight by shard fraction so uneven shards still average to the
+            # exact full-batch gradient of a mean loss
+            flat = np.concatenate(
+                [
+                    (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+                    * (w * self.n_workers)
+                    for p in self.params
+                ]
+            )
+            flat_grads.append(flat)
+        reduced = allreduce_mean(flat_grads, algorithm=self.algorithm)[0]
+        # scatter back into param.grad
+        out: list[np.ndarray] = []
+        offset = 0
+        for p in self.params:
+            size = p.data.size
+            g = reduced[offset : offset + size].reshape(p.data.shape)
+            p.grad = g.copy()
+            out.append(p.grad)
+            offset += size
+        mean_loss = float(np.dot(weights, losses))
+        return mean_loss, out

@@ -1,0 +1,63 @@
+"""α-β communication cost model for the all-reduce algorithms.
+
+The standard Hockney model: sending ``m`` bytes costs ``α + m·β`` (latency
+plus inverse bandwidth).  For ``p`` workers and an ``n``-byte gradient:
+
+* ring:   ``2(p−1)·α + 2·(p−1)/p·n·β``   — bandwidth-optimal, latency-heavy;
+* tree:   ``2·log2(p)·α + 2·log2(p)·n·β`` (recursive doubling with full
+  buffers; latency-optimal, bandwidth-suboptimal);
+* naive:  ``2(p−1)·α + 2(p−1)·n·β``       — gather+broadcast strawman.
+
+These formulas drive the all-reduce ablation bench; the end-to-end speedup
+model (:mod:`repro.parallel.perfmodel`) composes them with per-device
+compute time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Link parameters: ``alpha`` seconds/message, ``beta`` seconds/byte."""
+
+    alpha: float = 5e-6
+    beta: float = 1e-9  # ~1 GB/s effective per link
+
+    def send(self, nbytes: float) -> float:
+        return self.alpha + nbytes * self.beta
+
+
+def _check(nbytes: float, p: int) -> None:
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if p < 1:
+        raise ValueError("worker count must be >= 1")
+
+
+def ring_time(nbytes: float, p: int, model: CommModel) -> float:
+    """Ring all-reduce wall time under the α-β model."""
+    _check(nbytes, p)
+    if p == 1:
+        return 0.0
+    rounds = 2 * (p - 1)
+    return rounds * model.alpha + 2.0 * (p - 1) / p * nbytes * model.beta
+
+
+def tree_time(nbytes: float, p: int, model: CommModel) -> float:
+    """Recursive-doubling all-reduce wall time (full-buffer exchanges)."""
+    _check(nbytes, p)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return 2 * rounds * model.alpha + 2 * rounds * nbytes * model.beta
+
+
+def naive_time(nbytes: float, p: int, model: CommModel) -> float:
+    """Gather-to-root + broadcast wall time (serialised at the root)."""
+    _check(nbytes, p)
+    if p == 1:
+        return 0.0
+    return 2 * (p - 1) * (model.alpha + nbytes * model.beta)

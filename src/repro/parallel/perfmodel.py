@@ -1,0 +1,116 @@
+"""Device performance model — regenerates the paper's speedup numbers.
+
+Section 7 reports wall-clock wins from large batches *on the same
+hardware*: e.g. "our GNMT baseline with a batch size of 256 needs more
+than 2 hours ... with a batch size of 4096 [it finishes] in 33 minutes on
+the same cloud TPU-v2", and a 5.3× average over the four LSTM apps.
+
+The mechanism is utilisation: an accelerator step costs a fixed overhead
+plus a per-sample term,
+
+    t_iter(B) = t_fixed + B · t_sample ,
+
+so an epoch over N samples costs ``N·t_sample + (N/B)·t_fixed`` — larger
+batches amortise the fixed overhead until compute saturates.  Training for
+a constant number of epochs (the paper's protocol) therefore speeds up by
+
+    speedup(B = k·B₀) = (t_fixed/B₀ + t_sample) / (t_fixed/(k·B₀) + t_sample).
+
+``APP_DEVICE_MODELS`` pins ``t_fixed / t_sample`` per application so the
+model reproduces the paper's reported endpoints (the GNMT ratio above
+solves to t_fixed ≈ 875·t_sample; the other three are calibrated to put
+the four-app average at ≈5.3×, see EXPERIMENTS.md).  Absolute time units
+are arbitrary — only ratios are claimed, exactly as in the paper.
+
+For multi-worker scenarios (the ablation bench) :func:`training_time`
+optionally adds per-iteration all-reduce cost from
+:mod:`repro.parallel.cost`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.parallel.cost import CommModel, naive_time, ring_time, tree_time
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One accelerator's step-time law: ``t_iter(B) = t_fixed + B·t_sample``."""
+
+    t_fixed: float
+    t_sample: float
+
+    def iteration_time(self, batch: int) -> float:
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        return self.t_fixed + batch * self.t_sample
+
+    def throughput(self, batch: int) -> float:
+        """Samples per second at this batch size."""
+        return batch / self.iteration_time(batch)
+
+
+# Calibration targets (see module docstring and EXPERIMENTS.md): the
+# t_fixed/t_sample ratio per application.  t_sample is normalised to 1.
+APP_DEVICE_MODELS: dict[str, DeviceModel] = {
+    # MNIST's tiny LSTM leaves a V100 deeply underutilised at batch 128.
+    "mnist": DeviceModel(t_fixed=1200.0, t_sample=1.0),
+    # PTB models are launched at batch 20 — pure overhead territory.
+    "ptb_small": DeviceModel(t_fixed=100.0, t_sample=1.0),
+    "ptb_large": DeviceModel(t_fixed=60.0, t_sample=1.0),
+    # GNMT: solves the paper's 2h @ 256 -> 33min @ 4096 on one TPU-v2.
+    "gnmt": DeviceModel(t_fixed=875.0, t_sample=1.0),
+}
+
+
+def epoch_time(
+    model: DeviceModel,
+    n_samples: int,
+    batch: int,
+    n_workers: int = 1,
+    grad_bytes: float = 0.0,
+    comm: CommModel | None = None,
+    algorithm: str = "ring",
+) -> float:
+    """Wall time of one epoch at global batch ``batch``.
+
+    With ``n_workers > 1`` each worker computes ``batch / n_workers``
+    samples per step and every step pays one all-reduce of ``grad_bytes``.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    iters = math.ceil(n_samples / batch)
+    per_worker = max(1, batch // n_workers)
+    compute = model.iteration_time(per_worker)
+    comm_time = 0.0
+    if n_workers > 1:
+        comm = comm or CommModel()
+        timer = {"ring": ring_time, "tree": tree_time, "naive": naive_time}[algorithm]
+        comm_time = timer(grad_bytes, n_workers, comm)
+    return iters * (compute + comm_time)
+
+
+def training_time(
+    model: DeviceModel,
+    n_samples: int,
+    batch: int,
+    epochs: float,
+    **kwargs,
+) -> float:
+    """Total wall time for ``epochs`` epochs (the paper's fixed-epoch runs)."""
+    return epochs * epoch_time(model, n_samples, batch, **kwargs)
+
+
+def speedup(model: DeviceModel, base_batch: int, batch: int) -> float:
+    """Single-device fixed-epoch speedup of ``batch`` over ``base_batch``.
+
+    Independent of dataset size and epoch count (both cancel), so this is
+    the quantity Figure 4's bars display.
+    """
+    base = model.t_fixed / base_batch + model.t_sample
+    big = model.t_fixed / batch + model.t_sample
+    return base / big

@@ -1,0 +1,55 @@
+"""Cosine and linear decay — the post-paper schedule zoo.
+
+Not used by the paper's own recipes, but standard in the large-batch
+literature that followed it; both compose with LEGW's warmup exactly like
+the paper's decays (the peak LR is whatever the scaling rule produced).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.schedules.base import Schedule
+
+
+class CosineDecay(Schedule):
+    """Half-cosine from ``base_lr`` to ``min_lr`` over ``total_iterations``.
+
+    ``lr(i) = min + 0.5 (base − min) (1 + cos(pi · i / I))``, clamped at
+    ``min_lr`` past the horizon.
+    """
+
+    def __init__(
+        self, base_lr: float, total_iterations: int, min_lr: float = 0.0
+    ) -> None:
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        if min_lr > base_lr:
+            raise ValueError("min_lr must not exceed base_lr")
+        self.base_lr = float(base_lr)
+        self.min_lr = float(min_lr)
+        self.total_iterations = int(total_iterations)
+
+    def lr_at(self, iteration: int) -> float:
+        frac = min(1.0, iteration / self.total_iterations)
+        cos = 0.5 * (1.0 + math.cos(math.pi * frac))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class LinearDecay(Schedule):
+    """Straight line from ``base_lr`` to ``min_lr`` over the horizon."""
+
+    def __init__(
+        self, base_lr: float, total_iterations: int, min_lr: float = 0.0
+    ) -> None:
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        if min_lr > base_lr:
+            raise ValueError("min_lr must not exceed base_lr")
+        self.base_lr = float(base_lr)
+        self.min_lr = float(min_lr)
+        self.total_iterations = int(total_iterations)
+
+    def lr_at(self, iteration: int) -> float:
+        frac = min(1.0, iteration / self.total_iterations)
+        return self.base_lr + (self.min_lr - self.base_lr) * frac

@@ -1,0 +1,92 @@
+"""Decay schedules: multi-step, per-epoch exponential, polynomial.
+
+All are parameterised in *epochs* plus an explicit ``steps_per_epoch``,
+because every schedule in the paper is specified that way ("LEGW reduces
+the learning rate by multiplying it by 0.1 at 30th, 60th, and 80th epoch").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.schedules.base import Schedule
+
+
+class MultiStepDecay(Schedule):
+    """Piecewise-constant decay: multiply by ``gamma`` at each milestone epoch.
+
+    The ImageNet recipe of Figure 2.1: base LR held, then ×0.1 at epochs
+    30, 60 and 80 over a 90-epoch run.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        milestones_epochs: Sequence[float],
+        gamma: float,
+        steps_per_epoch: int,
+    ) -> None:
+        if steps_per_epoch <= 0:
+            raise ValueError("steps_per_epoch must be positive")
+        if sorted(milestones_epochs) != list(milestones_epochs):
+            raise ValueError("milestones must be sorted ascending")
+        self.base_lr = float(base_lr)
+        self.gamma = float(gamma)
+        self.milestones_iters = [
+            int(round(m * steps_per_epoch)) for m in milestones_epochs
+        ]
+
+    def lr_at(self, iteration: int) -> float:
+        passed = sum(1 for m in self.milestones_iters if iteration >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class ExponentialEpochDecay(Schedule):
+    """Hold for ``hold_epochs`` then decay by ``decay_rate`` each epoch.
+
+    The PTB-small recipe: "constant learning rate in the first seven
+    epochs[, then] decayed by 0.4 after each epoch" — i.e.
+    ``lr = base * decay_rate ** max(0, epoch - hold_epochs + 1)`` with the
+    epoch derived from the iteration index.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        hold_epochs: float,
+        decay_rate: float,
+        steps_per_epoch: int,
+    ) -> None:
+        if steps_per_epoch <= 0:
+            raise ValueError("steps_per_epoch must be positive")
+        if not 0 < decay_rate <= 1:
+            raise ValueError("decay_rate must be in (0, 1]")
+        self.base_lr = float(base_lr)
+        self.hold_epochs = float(hold_epochs)
+        self.decay_rate = float(decay_rate)
+        self.steps_per_epoch = int(steps_per_epoch)
+
+    def lr_at(self, iteration: int) -> float:
+        epoch = iteration // self.steps_per_epoch
+        excess = max(0.0, epoch - self.hold_epochs + 1)
+        return self.base_lr * self.decay_rate**excess
+
+
+class PolynomialDecay(Schedule):
+    """Poly decay: ``lr(i) = base * (1 - i/I) ** power`` (Figure 2.2).
+
+    ``power=2.0`` is the paper's choice for PTB-large and the poly-decay
+    ImageNet variant.  The rate is clamped at 0 beyond ``total_iterations``
+    so over-long runs stay well-defined.
+    """
+
+    def __init__(self, base_lr: float, total_iterations: int, power: float = 2.0):
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        self.base_lr = float(base_lr)
+        self.total_iterations = int(total_iterations)
+        self.power = float(power)
+
+    def lr_at(self, iteration: int) -> float:
+        frac = min(1.0, iteration / self.total_iterations)
+        return self.base_lr * (1.0 - frac) ** self.power

@@ -1,0 +1,31 @@
+"""Learning-rate scaling rules (Section 2.3).
+
+Sqrt Scaling (Krizhevsky 2014): increasing the batch by ``k`` keeps the
+variance of the gradient estimator constant if the LR grows by ``sqrt(k)``.
+
+Linear Scaling (Goyal et al. 2017): grow the LR by ``k``, under the
+assumption that successive mini-batch gradients are nearly equal.
+
+Both are pure functions — which rule is paired with which warmup policy is
+exactly the experimental axis of Figures 1 and 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _ratio(base_batch: int, batch: int) -> float:
+    if base_batch <= 0 or batch <= 0:
+        raise ValueError("batch sizes must be positive")
+    return batch / base_batch
+
+
+def sqrt_scaled_lr(base_lr: float, base_batch: int, batch: int) -> float:
+    """Sqrt Scaling rule: ``lr = base_lr * sqrt(batch / base_batch)``."""
+    return base_lr * math.sqrt(_ratio(base_batch, batch))
+
+
+def linear_scaled_lr(base_lr: float, base_batch: int, batch: int) -> float:
+    """Linear Scaling rule: ``lr = base_lr * batch / base_batch``."""
+    return base_lr * _ratio(base_batch, batch)

@@ -1,0 +1,31 @@
+"""Gradual warmup wrapper (Goyal et al. 2017, Section 2.3 of the paper)."""
+
+from __future__ import annotations
+
+from repro.schedules.base import Schedule
+
+
+class GradualWarmup(Schedule):
+    """Linear ramp from 0 to the wrapped schedule over ``warmup_iterations``.
+
+    During warmup the LR is ``peak * (i+1) / warmup_iterations`` where
+    ``peak`` is the wrapped schedule's value at the end of the ramp;
+    afterwards the wrapped schedule is evaluated at the raw iteration
+    index (the paper's Figure 2 shows decay milestones measured from
+    iteration 0, not from the end of warmup).
+
+    ``warmup_iterations == 0`` degenerates to the wrapped schedule — that
+    is the "no warmup" baseline configuration of Figures 1 and 5.
+    """
+
+    def __init__(self, after: Schedule, warmup_iterations: int) -> None:
+        if warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+        self.after = after
+        self.warmup_iterations = int(warmup_iterations)
+
+    def lr_at(self, iteration: int) -> float:
+        if iteration < self.warmup_iterations:
+            peak = self.after.lr_at(self.warmup_iterations)
+            return peak * (iteration + 1) / self.warmup_iterations
+        return self.after.lr_at(iteration)

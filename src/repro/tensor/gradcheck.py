@@ -1,0 +1,73 @@
+"""Finite-difference gradient validation.
+
+``gradcheck`` is the ground truth for the entire engine: every op and layer
+in the test suite is checked against central differences.  The paper's
+Figure 3 analysis (:mod:`repro.analysis.lipschitz`) also builds on the same
+perturb-and-diff machinery, so keeping it exact here does double duty.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numeric_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. one input.
+
+    ``fn`` must return a scalar Tensor.  The input is perturbed in place and
+    restored, so callers can reuse the same tensors for the analytic pass.
+    """
+    target = inputs[wrt]
+    flat = target.data.reshape(-1)
+    grad = np.zeros_like(flat)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = float(fn(*inputs).data)
+        flat[i] = orig - eps
+        f_minus = float(fn(*inputs).data)
+        flat[i] = orig
+        grad[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad.reshape(target.shape)
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> bool:
+    """Assert analytic gradients of scalar ``fn`` match finite differences.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns ``True``
+    otherwise so it can sit directly inside a test's ``assert``.
+    """
+    inputs = list(inputs)
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numeric_grad(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

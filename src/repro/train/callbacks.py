@@ -1,0 +1,143 @@
+"""Trainer callbacks: early stopping, best-metric tracking, checkpointing.
+
+The bare :class:`~repro.train.trainer.Trainer` loop stays minimal (it is
+the measured object in the paper's experiments, where nothing may
+silently change the protocol); production conveniences hook in through
+this callback interface instead.
+
+A callback receives ``on_iteration(iteration, loss, lr)`` after every
+optimizer step and ``on_epoch_end(epoch, metrics) -> bool`` after every
+evaluation; returning ``True`` from ``on_epoch_end`` requests an early
+stop (recorded in the result, never conflated with divergence).
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from typing import Callable
+
+from repro.utils.checkpoint import save_checkpoint
+
+
+class Callback:
+    """Base class; default hooks do nothing."""
+
+    def on_iteration(self, iteration: int, loss: float, lr: float) -> None:
+        pass
+
+    def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        """Return True to request an early stop."""
+        return False
+
+
+class BestMetric(Callback):
+    """Track the best value of one eval metric across epochs."""
+
+    def __init__(self, metric: str, mode: str = "max") -> None:
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.metric = metric
+        self.mode = mode
+        self.best: float | None = None
+        self.best_epoch: int | None = None
+
+    def _improves(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        return value > self.best if self.mode == "max" else value < self.best
+
+    def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        value = metrics.get(self.metric)
+        if value is not None and math.isfinite(value) and self._improves(value):
+            self.best = float(value)
+            self.best_epoch = epoch
+        return False
+
+
+class EarlyStopping(BestMetric):
+    """Stop when the metric hasn't improved for ``patience`` epochs.
+
+    ``min_delta`` sets the improvement threshold (mode-aware).
+    """
+
+    def __init__(
+        self, metric: str, mode: str = "max", patience: int = 3,
+        min_delta: float = 0.0,
+    ) -> None:
+        super().__init__(metric, mode)
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self.stale_epochs = 0
+        self.stopped_epoch: int | None = None
+
+    def _improves(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        value = metrics.get(self.metric)
+        if value is None or not math.isfinite(value):
+            self.stale_epochs += 1
+        elif self._improves(value):
+            self.best = float(value)
+            self.best_epoch = epoch
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+        if self.stale_epochs >= self.patience:
+            self.stopped_epoch = epoch
+            return True
+        return False
+
+
+class CheckpointEveryN(Callback):
+    """Save a checkpoint every ``every`` epochs (and always at the last
+    call), keeping one file per save under ``directory``."""
+
+    def __init__(self, directory, model, optimizer=None, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.model = model
+        self.optimizer = optimizer
+        self.every = every
+        self.saved: list[pathlib.Path] = []
+        self._iteration = 0
+
+    def on_iteration(self, iteration: int, loss: float, lr: float) -> None:
+        self._iteration = iteration
+
+    def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        if (epoch + 1) % self.every == 0:
+            path = self.directory / f"epoch_{epoch:04d}.npz"
+            save_checkpoint(path, self.model, self.optimizer, self._iteration)
+            self.saved.append(path)
+        return False
+
+
+class LambdaCallback(Callback):
+    """Wrap plain functions as a callback."""
+
+    def __init__(
+        self,
+        on_iteration: Callable[[int, float, float], None] | None = None,
+        on_epoch_end: Callable[[int, dict[str, float]], bool] | None = None,
+    ) -> None:
+        self._on_iteration = on_iteration
+        self._on_epoch_end = on_epoch_end
+
+    def on_iteration(self, iteration: int, loss: float, lr: float) -> None:
+        if self._on_iteration is not None:
+            self._on_iteration(iteration, loss, lr)
+
+    def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        if self._on_epoch_end is not None:
+            return bool(self._on_epoch_end(epoch, metrics))
+        return False

@@ -1,0 +1,140 @@
+"""The generic training loop.
+
+All five applications train through this one loop, which enforces the
+paper's experimental protocol:
+
+* the learning rate is read from the schedule at every iteration (so
+  warmup behaves identically across solvers),
+* optional global-norm gradient clipping sits between backward and step,
+* divergence (NaN/inf loss) is detected and recorded rather than crashing
+  — the comprehensive-tuning figures *need* diverged runs as data points,
+* per-iteration loss/lr and per-epoch eval metrics land in a
+  :class:`~repro.utils.log.RunLog` for the figure drivers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.optim.clip import clip_grad_norm
+from repro.schedules.base import Schedule
+from repro.utils.log import RunLog
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    log: RunLog
+    diverged: bool = False
+    epochs_completed: int = 0
+    final_metrics: dict[str, float] = field(default_factory=dict)
+    stopped_early: bool = False
+
+    def metric(self, name: str, default: float | None = None) -> float | None:
+        return self.final_metrics.get(name, default)
+
+
+class Trainer:
+    """Drive a model through ``epochs`` epochs of mini-batch training.
+
+    Parameters
+    ----------
+    loss_fn:
+        ``loss_fn(batch) -> Tensor`` — a scalar loss built on the model's
+        parameters (the model object itself stays out of the trainer's
+        sight; the five applications each provide a closure).
+    optimizer:
+        Any :class:`repro.optim.Optimizer`.
+    schedule:
+        Iteration-indexed LR schedule.
+    train_iter:
+        Re-iterable over batches with a ``steps_per_epoch`` attribute
+        (:class:`~repro.data.loader.BatchIterator` or the padded variant).
+    eval_fn:
+        Optional ``() -> dict[str, float]`` run after every epoch; entries
+        are recorded as series ``eval_<name>`` keyed by epoch.
+    grad_clip:
+        Optional global-norm clip threshold.
+    callbacks:
+        Optional list of :class:`repro.train.callbacks.Callback` hooks;
+        a callback returning ``True`` from ``on_epoch_end`` stops training
+        (``result.stopped_early`` is set — distinct from divergence).
+    """
+
+    def __init__(
+        self,
+        loss_fn: Callable[[object], "object"],
+        optimizer: Optimizer,
+        schedule: Schedule,
+        train_iter: Iterable,
+        eval_fn: Callable[[], dict[str, float]] | None = None,
+        grad_clip: float | None = None,
+        callbacks: list | None = None,
+    ) -> None:
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.train_iter = train_iter
+        self.eval_fn = eval_fn
+        self.grad_clip = grad_clip
+        self.callbacks = list(callbacks or [])
+
+    def run(self, epochs: int, log_every: int = 1) -> TrainResult:
+        log = RunLog()
+        result = TrainResult(log=log)
+        iteration = 0
+        for epoch in range(epochs):
+            for batch in self.train_iter:
+                lr = self.schedule(iteration)
+                self.optimizer.zero_grad()
+                loss = self.loss_fn(batch)
+                loss_val = float(loss.data)
+                if not math.isfinite(loss_val):
+                    result.diverged = True
+                    log.record("loss", iteration, loss_val)
+                    result.epochs_completed = epoch
+                    result.final_metrics["diverged"] = 1.0
+                    return result
+                loss.backward()
+                norm = (
+                    clip_grad_norm(
+                        [p for _, p in self.optimizer.params], self.grad_clip
+                    )
+                    if self.grad_clip is not None
+                    else None
+                )
+                self.optimizer.step(lr=lr)
+                if iteration % log_every == 0:
+                    log.record("loss", iteration, loss_val)
+                    log.record("lr", iteration, lr)
+                    if norm is not None:
+                        log.record("grad_norm", iteration, norm)
+                for callback in self.callbacks:
+                    callback.on_iteration(iteration, loss_val, lr)
+                iteration += 1
+            result.epochs_completed = epoch + 1
+            metrics: dict[str, float] = {}
+            if self.eval_fn is not None:
+                metrics = self.eval_fn()
+                for name, value in metrics.items():
+                    if not math.isfinite(value):
+                        result.diverged = True
+                        value = float("nan")
+                    log.record(f"eval_{name}", epoch, value)
+                result.final_metrics = dict(metrics)
+                if result.diverged:
+                    return result
+            stop = False
+            for callback in self.callbacks:
+                stop = callback.on_epoch_end(epoch, metrics) or stop
+            if stop:
+                result.stopped_early = True
+                break
+        result.final_metrics.setdefault("diverged", 0.0)
+        return result

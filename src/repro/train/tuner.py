@@ -1,0 +1,84 @@
+"""Grid search over learning rates — the "comprehensive tuning" baseline.
+
+Sections 5.2/5.3 tune the baseline's LR over explicit grids (e.g.
+``{0.01, 0.02, ..., 0.16}`` for MNIST) and compare the *best* tuned result
+against a single untuned LEGW run.  :class:`GridTuner` reproduces that
+protocol: run the factory once per grid point, score each run, report every
+point (Figures 7/8 plot the whole grid) and the best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.train.trainer import TrainResult
+
+
+@dataclass
+class TuningOutcome:
+    """All grid points plus the winner.
+
+    ``results[lr]`` holds the scalar score of that run (NaN-safe: diverged
+    runs score ``float('nan')`` and never win).
+    """
+
+    mode: str
+    results: dict[float, float] = field(default_factory=dict)
+    diverged: dict[float, bool] = field(default_factory=dict)
+
+    @property
+    def best_lr(self) -> float:
+        valid = {
+            lr: v
+            for lr, v in self.results.items()
+            if v == v and not self.diverged.get(lr, False)  # v == v filters NaN
+        }
+        if not valid:
+            raise RuntimeError("every grid point diverged")
+        key = max if self.mode == "max" else min
+        return key(valid, key=valid.get)
+
+    @property
+    def best_score(self) -> float:
+        return self.results[self.best_lr]
+
+
+class GridTuner:
+    """Exhaustive 1-D learning-rate sweep.
+
+    Parameters
+    ----------
+    run_fn:
+        ``run_fn(lr) -> TrainResult`` — builds a *fresh* model/optimizer/
+        schedule at the given LR and trains it to completion.
+    metric:
+        Name of the entry in ``TrainResult.final_metrics`` to score by.
+    mode:
+        ``'max'`` (accuracy, BLEU) or ``'min'`` (perplexity).
+    """
+
+    def __init__(
+        self,
+        run_fn: Callable[[float], TrainResult],
+        metric: str,
+        mode: str = "max",
+    ) -> None:
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.run_fn = run_fn
+        self.metric = metric
+        self.mode = mode
+
+    def sweep(self, grid: Sequence[float]) -> TuningOutcome:
+        if not grid:
+            raise ValueError("empty tuning grid")
+        outcome = TuningOutcome(mode=self.mode)
+        for lr in grid:
+            result = self.run_fn(float(lr))
+            score = result.metric(self.metric, float("nan"))
+            outcome.results[float(lr)] = (
+                float("nan") if result.diverged else float(score)
+            )
+            outcome.diverged[float(lr)] = result.diverged
+        return outcome

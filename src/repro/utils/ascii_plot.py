@@ -1,0 +1,109 @@
+"""Terminal charts for the figure drivers and examples.
+
+The paper's figures are line charts of metric-vs-batch or value-vs-
+iteration; with no plotting stack offline, the drivers render the same
+information as ASCII — a labelled multi-series chart plus sparklines.
+Kept dependency-free and purely string-producing so it is trivially
+testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity chart of a series (resampled to ``width``)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("empty series")
+    if len(vals) > width:
+        idx = [round(i * (len(vals) - 1) / (width - 1)) for i in range(width)]
+        vals = [vals[i] for i in idx]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return "?" * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append("!")
+        else:
+            level = int((v - lo) / span * (len(SPARK_LEVELS) - 1))
+            out.append(SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object] | None = None,
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+    y_format: str = "{:.3g}",
+) -> str:
+    """A multi-series ASCII line chart.
+
+    Each series is drawn with its own marker; a legend maps markers to
+    names.  All series must share a length; NaN points are skipped.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(s) for s in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share a length")
+    (n,) = lengths
+    if n == 0:
+        raise ValueError("empty series")
+    if height < 2 or width < 2:
+        raise ValueError("chart too small")
+
+    finite = [
+        v for s in series.values() for v in s if math.isfinite(float(v))
+    ]
+    if not finite:
+        raise ValueError("no finite points to plot")
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), _MARKERS):
+        for i, v in enumerate(values):
+            v = float(v)
+            if not math.isfinite(v):
+                continue
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = height - 1 - round((v - lo) / span * (height - 1))
+            grid[row][col] = marker
+
+    y_top = y_format.format(hi)
+    y_bot = y_format.format(lo)
+    label_width = max(len(y_top), len(y_bot))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(label_width)
+        elif r == height - 1:
+            label = y_bot.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    if x_labels is not None and len(x_labels) >= 2:
+        left = str(x_labels[0])
+        right = str(x_labels[-1])
+        pad = width - len(left) - len(right)
+        lines.append(
+            " " * (label_width + 2) + left + " " * max(pad, 1) + right
+        )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

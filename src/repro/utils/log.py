@@ -1,0 +1,74 @@
+"""Lightweight run logging and wall-clock timing.
+
+The training loop records per-iteration and per-epoch scalars into a
+:class:`RunLog`; experiment drivers then read series out of it to build the
+paper's figures.  Keeping this independent of any logging framework makes
+runs trivially serialisable and testable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunLog:
+    """Append-only store of named scalar series.
+
+    Each series is a list of ``(step, value)`` pairs.  ``step`` is whatever
+    granularity the producer chooses (iteration index, epoch index); mixing
+    granularities across *different* series is fine and expected.
+    """
+
+    series: dict[str, list[tuple[int, float]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, name: str, step: int, value: float) -> None:
+        self.series[name].append((int(step), float(value)))
+
+    def steps(self, name: str) -> list[int]:
+        return [s for s, _ in self.series.get(name, [])]
+
+    def values(self, name: str) -> list[float]:
+        return [v for _, v in self.series.get(name, [])]
+
+    def last(self, name: str, default: float | None = None) -> float | None:
+        entries = self.series.get(name)
+        if not entries:
+            return default
+        return entries[-1][1]
+
+    def best(self, name: str, mode: str = "max") -> float:
+        """Best value of a series (``mode`` is ``'max'`` or ``'min'``)."""
+        vals = self.values(name)
+        if not vals:
+            raise KeyError(f"no series named {name!r}")
+        return max(vals) if mode == "max" else min(vals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series and bool(self.series[name])
+
+    def to_csv(self, name: str) -> str:
+        """One series as ``step,value`` CSV text (plotting hand-off)."""
+        if name not in self:
+            raise KeyError(f"no series named {name!r}")
+        lines = ["step,value"]
+        lines.extend(f"{s},{v!r}" for s, v in self.series[name])
+        return "\n".join(lines) + "\n"
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,124 @@
+"""Lipschitz analysis: exactness on quadratics, trace machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import lipschitz_estimate, lipschitz_trace, peak_iteration
+from repro.data import ArrayDataset, BatchIterator
+from repro.nn import Parameter
+from repro.optim import SGD
+from repro.schedules import ConstantLR
+from repro.tensor import Tensor
+from repro.utils.log import RunLog
+
+
+class TestLipschitzOnQuadratic:
+    """For f(x) = 0.5 xᵀAx: g = Ax and L(x,g) = ĝᵀAĝ — exactly computable."""
+
+    def make_quadratic(self, rng, n=5):
+        m = rng.standard_normal((n, n))
+        a = m @ m.T + n * np.eye(n)  # SPD, well-conditioned
+        a_t = Tensor(a)
+        x = Parameter(rng.standard_normal(n))
+
+        def loss_fn(batch):
+            del batch
+            return 0.5 * (x @ (a_t @ x))
+
+        return a, x, loss_fn
+
+    def test_matches_closed_form(self, rng):
+        a, x, loss_fn = self.make_quadratic(rng)
+        g = a @ x.data
+        ghat = g / np.linalg.norm(g)
+        expected = float(ghat @ a @ ghat)
+        est = lipschitz_estimate(loss_fn, None, [x])
+        assert est == pytest.approx(expected, rel=1e-4)
+
+    def test_restores_parameters(self, rng):
+        _, x, loss_fn = self.make_quadratic(rng)
+        before = x.data.copy()
+        lipschitz_estimate(loss_fn, None, [x])
+        assert np.allclose(x.data, before, atol=1e-12)
+
+    def test_bounded_by_extreme_eigenvalues(self, rng):
+        a, x, loss_fn = self.make_quadratic(rng)
+        eigs = np.linalg.eigvalsh(a)
+        est = lipschitz_estimate(loss_fn, None, [x])
+        assert eigs[0] - 1e-6 <= est <= eigs[-1] + 1e-6
+
+    def test_zero_gradient_returns_zero(self, rng):
+        a, x, loss_fn = self.make_quadratic(rng)
+        x.data[:] = 0.0  # minimum: g = 0
+        assert lipschitz_estimate(loss_fn, None, [x]) == 0.0
+
+
+class TestLipschitzTrace:
+    def make_problem(self, rng):
+        w_true = rng.standard_normal(3)
+        xs = rng.standard_normal((32, 3))
+        ys = xs @ w_true
+        ds = ArrayDataset(xs, ys)
+        w = Parameter(np.zeros(3))
+
+        def loss_fn(batch):
+            xb, yb = batch
+            pred = Tensor(xb) @ w
+            diff = pred - Tensor(yb)
+            return (diff * diff).mean()
+
+        return ds, w, loss_fn
+
+    def test_trace_records_and_trains(self, rng):
+        ds, w, loss_fn = self.make_problem(rng)
+        it = BatchIterator(ds, 8, rng=0)
+        log = lipschitz_trace(
+            loss_fn, [w], SGD([w], lr=0.05), ConstantLR(0.05), it, epochs=3
+        )
+        losses = log.values("loss")
+        assert losses[-1] < losses[0]
+        assert len(log.values("lipschitz")) == len(losses)
+
+    def test_probe_every_thins_series(self, rng):
+        ds, w, loss_fn = self.make_problem(rng)
+        it = BatchIterator(ds, 8, rng=0)
+        log = lipschitz_trace(
+            loss_fn, [w], SGD([w], lr=0.05), ConstantLR(0.05), it,
+            epochs=2, probe_every=3,
+        )
+        assert len(log.values("lipschitz")) < len(log.values("loss"))
+
+    def test_fixed_probe_batch_used(self, rng):
+        """With a constant-loss probe batch the trace is constant."""
+        ds, w, loss_fn = self.make_problem(rng)
+        it = BatchIterator(ds, 8, rng=0)
+        probe = (ds.inputs[:8], ds.targets[:8])
+        log = lipschitz_trace(
+            loss_fn, [w], SGD([w], lr=0.0), ConstantLR(0.0), it,
+            epochs=2, probe_batch=probe,
+        )
+        vals = log.values("lipschitz")
+        # no training happens (lr 0) and probe is fixed => identical values
+        assert np.allclose(vals, vals[0])
+
+
+class TestPeakIteration:
+    def test_finds_max(self):
+        log = RunLog()
+        for i, v in enumerate([0.1, 0.5, 2.0, 0.4, 0.2]):
+            log.record("lipschitz", i, v)
+        assert peak_iteration(log, smooth_window=1) == 2
+
+    def test_smoothing_suppresses_spikes(self):
+        log = RunLog()
+        values = [1.0, 1.0, 9.0, 1.0, 1.0, 4.0, 4.2, 4.1, 1.0]
+        for i, v in enumerate(values):
+            log.record("lipschitz", i, v)
+        # raw argmax is the spike at 2; the smoothed peak is the plateau
+        assert peak_iteration(log, smooth_window=3) == 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            peak_iteration(RunLog())

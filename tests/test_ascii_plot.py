@@ -1,0 +1,79 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        from repro.utils.ascii_plot import SPARK_LEVELS
+
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        levels = [SPARK_LEVELS.index(c) for c in s]
+        assert levels == sorted(levels)
+
+    def test_resamples_long_series(self):
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(s) == 3 and len(set(s)) == 1
+
+    def test_nan_marked(self):
+        assert "!" in sparkline([1.0, float("nan"), 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]},
+            x_labels=[10, 20, 30],
+            height=6,
+            width=20,
+        )
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+        assert "10" in chart and "30" in chart
+
+    def test_y_axis_labels_are_extremes(self):
+        chart = line_chart({"a": [0.0, 10.0]}, height=5, width=10)
+        assert "10" in chart and "0" in chart
+
+    def test_title_rendered(self):
+        chart = line_chart({"a": [1, 2]}, title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_nan_points_skipped(self):
+        chart = line_chart({"a": [1.0, float("nan"), 3.0]}, height=4, width=9)
+        assert "o" in chart  # finite points still drawn
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [float("nan")]})
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, height=1)
+
+    def test_single_point_series(self):
+        chart = line_chart({"a": [5.0]}, height=4, width=8)
+        assert "o" in chart

@@ -1,0 +1,130 @@
+"""Beam-search decoding for GNMT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PaddedBatchIterator,
+    TranslationTask,
+    Vocab,
+    make_translation_dataset,
+)
+from repro.data.vocab import BOS, EOS, PAD
+from repro.models import GNMT, beam_decode, beam_decode_sentence
+from repro.models.beam import _length_penalty
+from repro.optim import Adam
+from repro.schedules import ConstantLR
+from repro.tensor import Tensor, no_grad, concat
+from repro.tensor.nnops import log_softmax
+from repro.train import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_gnmt():
+    """A lightly trained GNMT so decoding is non-degenerate."""
+    vocab = Vocab(12)
+    task = TranslationTask(vocab, rng=0, fertility_fraction=0.0)
+    pairs = make_translation_dataset(task, 200, rng=1, min_len=3, max_len=5)
+    model = GNMT(vocab, rng=2, embed_dim=16, hidden=16, enc_layers=2, dec_layers=2)
+    it = PaddedBatchIterator(pairs, 32, rng=3, pad_id=PAD, bos_id=BOS, eos_id=EOS)
+    Trainer(model.loss, Adam(model, lr=0.02), ConstantLR(0.02), it, grad_clip=5.0).run(4)
+    test_pairs = make_translation_dataset(task, 20, rng=4, min_len=3, max_len=5)
+    return model, test_pairs
+
+
+def hypothesis_logprob(model, src_row, src_len, tokens):
+    """Model log-prob of a hypothesis (content tokens + EOS)."""
+    with no_grad():
+        memory, keys, mask = model.encode(src_row[None, :], np.array([src_len]))
+        states = [c.zero_state(1) for c in model.decoder_cells]
+        from repro.tensor import zeros
+
+        context = zeros(1, model.hidden)
+        total = 0.0
+        prev = BOS
+        for tok in list(tokens) + [EOS]:
+            emb = model.embedding(np.array([prev]))
+            top, states = model._decoder_step(emb, context, states)
+            context, _ = model.attention(top, keys, memory, mask=mask)
+            logits = model.head(concat([top, context], axis=1))
+            logp = log_softmax(logits).data[0]
+            total += float(logp[tok])
+            prev = tok
+    return total
+
+
+class TestBeamDecode:
+    def test_beam_one_equals_greedy(self, trained_gnmt):
+        model, pairs = trained_gnmt
+        src, _ = pairs[0]
+        greedy = model.greedy_decode(src[None, :], np.array([len(src)]), 12)[0]
+        beam1 = beam_decode_sentence(
+            model, src, len(src), 12, beam_size=1, length_alpha=0.0
+        )
+        assert beam1 == greedy
+
+    def test_wider_beam_never_lowers_model_score(self, trained_gnmt):
+        """Beam 4's chosen hypothesis scores >= greedy's under the model
+        (with length penalty off, so scores are comparable)."""
+        model, pairs = trained_gnmt
+        for src, _ in pairs[:5]:
+            greedy = beam_decode_sentence(
+                model, src, len(src), 12, beam_size=1, length_alpha=0.0
+            )
+            beam = beam_decode_sentence(
+                model, src, len(src), 12, beam_size=4, length_alpha=0.0
+            )
+            lp_g = hypothesis_logprob(model, src, len(src), greedy)
+            lp_b = hypothesis_logprob(model, src, len(src), beam)
+            assert lp_b >= lp_g - 1e-9
+
+    def test_batch_wrapper_matches_per_sentence(self, trained_gnmt):
+        model, pairs = trained_gnmt
+        srcs = [s for s, _ in pairs[:3]]
+        max_src = max(len(s) for s in srcs)
+        src = np.full((3, max_src), PAD, dtype=np.int64)
+        lens = np.zeros(3, dtype=np.int64)
+        for i, s in enumerate(srcs):
+            src[i, : len(s)] = s
+            lens[i] = len(s)
+        batch_out = beam_decode(model, src, lens, 12, beam_size=3)
+        single_out = [
+            beam_decode_sentence(model, src[i], int(lens[i]), 12, beam_size=3)
+            for i in range(3)
+        ]
+        assert batch_out == single_out
+
+    def test_outputs_are_content_tokens(self, trained_gnmt):
+        model, pairs = trained_gnmt
+        src, _ = pairs[0]
+        out = beam_decode_sentence(model, src, len(src), 10, beam_size=4)
+        assert all(model.vocab.is_content(t) for t in out)
+        assert len(out) <= 10
+
+    def test_evaluate_bleu_with_beam(self, trained_gnmt):
+        model, pairs = trained_gnmt
+        greedy = model.evaluate_bleu(pairs, batch_size=10)["bleu"]
+        beam = model.evaluate_bleu(pairs, batch_size=10, beam_size=3)["bleu"]
+        assert 0.0 <= beam <= 100.0
+        # beam should not be dramatically worse than greedy
+        assert beam >= 0.5 * greedy
+
+    def test_invalid_beam_size(self, trained_gnmt):
+        model, pairs = trained_gnmt
+        src, _ = pairs[0]
+        with pytest.raises(ValueError):
+            beam_decode_sentence(model, src, len(src), 5, beam_size=0)
+
+
+class TestLengthPenalty:
+    def test_alpha_zero_is_identity(self):
+        assert _length_penalty(7, 0.0) == 1.0
+
+    def test_gnmt_formula(self):
+        assert _length_penalty(7, 1.0) == pytest.approx(12 / 6)
+
+    def test_monotone_in_length(self):
+        penalties = [_length_penalty(n, 0.6) for n in range(1, 10)]
+        assert all(a < b for a, b in zip(penalties, penalties[1:]))

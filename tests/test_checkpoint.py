@@ -1,0 +1,95 @@
+"""Checkpointing: bit-exact resume of model + optimizer state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.models import MnistLSTMClassifier
+from repro.optim import Adam, Momentum
+from repro.schedules import ConstantLR
+from repro.train import Trainer
+from repro.utils import load_checkpoint, save_checkpoint
+
+
+def make_model():
+    return MnistLSTMClassifier(rng=3, input_dim=8, transform_dim=8, hidden=8)
+
+
+@pytest.fixture
+def mnist_small():
+    train, _ = make_sequential_mnist(32, 8, rng=0, size=8)
+    return train
+
+
+class TestCheckpoint:
+    def test_model_roundtrip(self, tmp_path, mnist_small):
+        model = make_model()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, iteration=42)
+        other = make_model()
+        other.transform.weight.data[:] = 0.0
+        it = load_checkpoint(path, other)
+        assert it == 42
+        for a, b in zip(model.parameters(), other.parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_resume_equals_uninterrupted_run(self, tmp_path, mnist_small):
+        """Train 4 epochs straight vs 2 + checkpoint + resume + 2."""
+        train = mnist_small
+        sched = ConstantLR(0.05)
+
+        straight = make_model()
+        opt_s = Adam(straight, lr=0.05)
+        it_s = BatchIterator(train, 8, rng=1, shuffle=False)
+        Trainer(straight.loss, opt_s, sched, it_s).run(4)
+
+        first = make_model()
+        opt_f = Adam(first, lr=0.05)
+        it_f = BatchIterator(train, 8, rng=1, shuffle=False)
+        Trainer(first.loss, opt_f, sched, it_f).run(2)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(path, first, opt_f, iteration=8)
+
+        resumed = make_model()
+        opt_r = Adam(resumed, lr=0.05)
+        saved_iter = load_checkpoint(path, resumed, opt_r)
+        assert saved_iter == 8
+        assert opt_r.iteration == opt_f.iteration  # Adam bias correction state
+        it_r = BatchIterator(train, 8, rng=1, shuffle=False)
+        Trainer(resumed.loss, opt_r, sched, it_r).run(2)
+
+        for (name, a), (_, b) in zip(
+            straight.named_parameters(), resumed.named_parameters()
+        ):
+            assert np.allclose(a.data, b.data, atol=1e-12), name
+
+    def test_momentum_velocity_restored(self, tmp_path, mnist_small):
+        train = mnist_small
+        model = make_model()
+        opt = Momentum(model, lr=0.1)
+        batch = (train.inputs[:8], train.targets[:8])
+        model.zero_grad()
+        model.loss(batch).backward()
+        opt.step()
+        path = tmp_path / "m.npz"
+        save_checkpoint(path, model, opt)
+        fresh_opt = Momentum(model, lr=0.1)
+        load_checkpoint(path, model, fresh_opt)
+        for name in opt.state:
+            assert np.array_equal(opt.state[name]["v"], fresh_opt.state[name]["v"])
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        big = MnistLSTMClassifier(rng=0, input_dim=8, transform_dim=16, hidden=8)
+        path = tmp_path / "x.npz"
+        save_checkpoint(path, big)
+        small = make_model()
+        with pytest.raises(ValueError):
+            load_checkpoint(path, small)
+
+    def test_without_optimizer(self, tmp_path):
+        model = make_model()
+        path = tmp_path / "noopt.npz"
+        save_checkpoint(path, model)
+        assert load_checkpoint(path, make_model()) == 0

@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "figure1" in out
+        assert "mnist" in out and "gnmt" in out
+
+
+class TestExperiment:
+    def test_runs_analytic_driver(self, capsys):
+        assert main(["experiment", "figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "gnmt" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["experiment", "figure4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert pytest.approx(payload["average"], abs=0.3) == 5.3
+
+    def test_chart_renders_series(self, capsys):
+        assert main(["experiment", "ablation_allreduce", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "series view" in out and "=ring" in out
+
+    def test_chart_on_seriesless_driver_warns(self, capsys):
+        assert main(["experiment", "table1", "--chart"]) == 0
+        err = capsys.readouterr().err
+        assert "no chartable series" in err
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+class TestTrain:
+    @pytest.mark.slow
+    def test_trains_mnist_legw(self, capsys):
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "3", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LEGW" in out and "accuracy" in out
+
+    @pytest.mark.slow
+    def test_trains_with_scaling_rule(self, capsys):
+        code = main(
+            [
+                "train", "mnist", "--schedule", "sqrt", "--batch", "64",
+                "--warmup-epochs", "1", "--epochs", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sqrt scaling" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "cifar"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,99 @@
+"""Hypothesis property tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    MarkovLanguageSource,
+    TranslationTask,
+    Vocab,
+    make_ptb_corpus,
+    make_sequential_mnist,
+    make_translation_dataset,
+)
+from repro.data.vocab import NUM_SPECIAL
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), seeds, st.integers(1, 8), st.floats(0.0, 0.95))
+def test_markov_source_always_valid(vocab_size, seed, branching, peakedness):
+    branching = min(branching, vocab_size)
+    src = MarkovLanguageSource(
+        vocab_size, rng=seed, branching=branching, peakedness=peakedness
+    )
+    # rows normalised, stationary a fixed point, entropy ordering holds
+    assert np.allclose(src.transition.sum(axis=1), 1.0)
+    assert np.allclose(src.stationary @ src.transition, src.stationary, atol=1e-8)
+    assert src.stationary.min() >= 0
+    assert src.perplexity_floor() <= src.unigram_perplexity() + 1e-9
+    assert 1.0 <= src.perplexity_floor() <= vocab_size + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(50, 300), st.integers(2, 10))
+def test_ptb_corpus_windows_always_aligned(seed, n_tokens, seq_len):
+    src = MarkovLanguageSource(10, rng=0)
+    ds = make_ptb_corpus(src, n_tokens, seq_len, rng=seed)
+    # every window: target is the next token of the same stream
+    assert np.array_equal(ds.inputs[:, 1:], ds.targets[:, :-1])
+    assert ds.inputs.min() >= 0 and ds.inputs.max() < 10
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(2, 30), st.integers(1, 5), st.floats(0.0, 1.0))
+def test_translation_is_deterministic_function(seed, vocab_size, window, fertility):
+    vocab = Vocab(vocab_size)
+    task = TranslationTask(
+        vocab, rng=seed, reorder_window=window, fertility_fraction=fertility
+    )
+    rng = np.random.default_rng(seed)
+    src = rng.integers(NUM_SPECIAL, vocab.size, size=9)
+    out1, out2 = task.translate(src), task.translate(src)
+    assert np.array_equal(out1, out2)
+    # output length bounded by [len, 2*len]; all content tokens
+    assert len(src) <= len(out1) <= 2 * len(src)
+    assert all(vocab.is_content(int(t)) for t in out1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_translation_distinct_sources_distinct_targets(seed):
+    """The task is injective on no-fertility inputs (a bijection composed
+    with a permutation of positions) — distinct sources never collide."""
+    vocab = Vocab(12)
+    task = TranslationTask(vocab, rng=seed, fertility_fraction=0.0)
+    rng = np.random.default_rng(seed)
+    seen = {}
+    for _ in range(30):
+        src = tuple(rng.integers(NUM_SPECIAL, vocab.size, size=6).tolist())
+        tgt = tuple(task.translate(np.array(src)).tolist())
+        if tgt in seen:
+            assert seen[tgt] == src
+        seen[tgt] = src
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(10, 60))
+def test_mnist_generator_shapes_and_ranges(seed, n):
+    train, test = make_sequential_mnist(n, 10, rng=seed, size=10)
+    assert train.inputs.shape == (n, 10, 10)
+    assert train.inputs.min() >= 0.0 and train.inputs.max() <= 1.5
+    assert set(np.unique(train.targets)) <= set(range(10))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(5, 40), st.integers(2, 6), st.integers(3, 9))
+def test_translation_dataset_respects_bounds(seed, n_pairs, min_len, extra):
+    vocab = Vocab(10)
+    task = TranslationTask(vocab, rng=0)
+    pairs = make_translation_dataset(
+        task, n_pairs, rng=seed, min_len=min_len, max_len=min_len + extra
+    )
+    assert len(pairs) == n_pairs
+    for s, t in pairs:
+        assert min_len <= len(s) <= min_len + extra
+        assert np.array_equal(t, task.translate(s))

@@ -1,0 +1,78 @@
+"""Pure helpers inside the experiment drivers (no training involved)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import build_workload
+from repro.experiments.figure5 import VARIANTS, _variant_schedule, adam_grid_for
+from repro.experiments.figure2 import run as run_figure2
+from repro.experiments.figure4 import LADDER
+from repro.schedules import ConstantLR, GradualWarmup, PolynomialDecay
+
+
+class TestVariantSchedules:
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return build_workload("mnist", "smoke")
+
+    def test_eta0_is_base_lr_everywhere(self, wl):
+        sched = _variant_schedule(wl, wl.batches[-1], "eta0")
+        assert isinstance(sched, ConstantLR)
+        assert sched(0) == wl.base_lr
+
+    def test_linear_scales_lr(self, wl):
+        batch = wl.batches[-1]
+        sched = _variant_schedule(wl, batch, "linear")
+        assert sched(0) == pytest.approx(wl.base_lr * batch / wl.base_batch)
+
+    def test_poly_variant_decays_to_zero(self, wl):
+        batch = wl.batches[-1]
+        sched = _variant_schedule(wl, batch, "linear+poly")
+        total = wl.steps_per_epoch(batch) * wl.epochs
+        assert isinstance(sched, PolynomialDecay)
+        assert sched(total) == 0.0
+
+    def test_warmup_variant_ramps(self, wl):
+        batch = wl.batches[-1]
+        sched = _variant_schedule(wl, batch, "linear+poly+warmup")
+        assert isinstance(sched, GradualWarmup)
+        spe = wl.steps_per_epoch(batch)
+        assert sched(0) < sched(5 * spe - 1)
+
+    def test_unknown_variant_raises(self, wl):
+        with pytest.raises(ValueError):
+            _variant_schedule(wl, 16, "cubic")
+
+    def test_variants_tuple_matches_paper_panels(self):
+        assert VARIANTS == ("eta0", "linear", "linear+poly", "linear+poly+warmup")
+
+
+class TestAdamGrid:
+    def test_smoke_grid_is_three_points_spanning_full(self):
+        wl = build_workload("mnist", "smoke")
+        grid = adam_grid_for(wl, "smoke")
+        assert len(grid) == 3
+        assert grid[0] == wl.adam_grid[0] and grid[-1] == wl.adam_grid[-1]
+
+    def test_small_grid_is_full(self):
+        wl = build_workload("mnist", "smoke")
+        assert adam_grid_for(wl, "small") == wl.adam_grid
+
+
+class TestFigureConstants:
+    def test_figure4_ladder_matches_paper_sections(self):
+        apps = dict((a, (b0, b1)) for a, b0, b1 in LADDER)
+        assert apps["mnist"] == (128, 8192)       # §5.1.1: 128 -> 8K
+        assert apps["ptb_small"] == (20, 640)     # §5.1.2: 20 -> 640
+        assert apps["gnmt"] == (256, 4096)        # §5.1.3 / Table 2
+
+    def test_figure2_entries_consistent_with_series(self):
+        out = run_figure2()
+        for entry in out["entries"]:
+            batch = entry["batch"]
+            # the multistep series starts at/below the peak and hits it
+            series = out["series"]["multistep"][batch]
+            assert max(series) == pytest.approx(entry["peak_lr"], rel=1e-9)

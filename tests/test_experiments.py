@@ -1,0 +1,188 @@
+"""Experiment framework: workloads, registry, and the analytic drivers.
+
+Training-based drivers are exercised end-to-end by the benchmark suite;
+here we run the analytic ones (which are fast and exact) plus the workload
+plumbing every driver shares.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    build_workload,
+    run_experiment,
+    score_of,
+)
+from repro.experiments.common import PRESETS, Workload
+from repro.schedules import LEGW
+from repro.train.trainer import TrainResult
+
+ALL_WORKLOADS = ("mnist", "ptb_small", "ptb_large", "gnmt", "resnet")
+
+
+class TestWorkloadConstruction:
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_builds(self, name, preset):
+        wl = build_workload(name, preset)
+        assert wl.name == name
+        assert wl.base_batch == wl.batches[0]
+        assert wl.mode in ("max", "min")
+        assert wl.epochs > 0 and wl.n_train > 0
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("cifar")
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            build_workload("mnist", "huge")
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_ladder_strictly_increasing(self, name):
+        wl = build_workload(name)
+        assert all(a < b for a, b in zip(wl.batches, wl.batches[1:]))
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_paper_batch_mapping(self, name):
+        wl = build_workload(name)
+        assert wl.paper_batch(wl.base_batch) == wl.base_batch * wl.paper_batch_factor
+
+
+class TestWorkloadSchedules:
+    def test_legw_schedule_is_legw(self):
+        wl = build_workload("mnist")
+        sched = wl.legw_schedule(wl.batches[-1])
+        assert isinstance(sched, LEGW)
+        k = wl.batches[-1] / wl.base_batch
+        assert sched.peak_lr == pytest.approx(wl.base_lr * math.sqrt(k))
+        assert sched.warmup_epochs == pytest.approx(wl.base_warmup_epochs * k)
+
+    def test_scaled_schedule_linear_peak(self):
+        wl = build_workload("mnist")
+        batch = wl.batches[-1]
+        sched = wl.scaled_schedule(batch, "linear", warmup_epochs=0.0)
+        assert sched(10_000) == pytest.approx(wl.base_lr * batch / wl.base_batch)
+
+    def test_scaled_schedule_sqrt_peak(self):
+        wl = build_workload("mnist")
+        batch = wl.batches[-1]
+        sched = wl.scaled_schedule(batch, "sqrt", warmup_epochs=0.0)
+        assert sched(10_000) == pytest.approx(
+            wl.base_lr * math.sqrt(batch / wl.base_batch)
+        )
+
+    def test_scaled_schedule_lr_override(self):
+        wl = build_workload("mnist")
+        sched = wl.scaled_schedule(wl.base_batch, lr=0.123, warmup_epochs=0.0)
+        assert sched(0) == pytest.approx(0.123)
+
+    def test_unknown_scaling_raises(self):
+        wl = build_workload("mnist")
+        with pytest.raises(ValueError):
+            wl.scaled_schedule(16, "cubic")
+
+    def test_decay_composes_for_resnet(self):
+        """ResNet's multistep decay fires at the scaled milestones."""
+        wl = build_workload("resnet")
+        batch = wl.base_batch
+        sched = wl.legw_schedule(batch)
+        spe = wl.steps_per_epoch(batch)
+        late = sched((wl.epochs - 1) * spe + 1)
+        early = sched(wl.steps_per_epoch(batch) * 2)
+        assert late < early  # decayed by the end
+
+    def test_table2_warmup_iterations_constant(self):
+        """The Table 2 invariant on the real GNMT workload geometry."""
+        wl = build_workload("gnmt")
+        iters = [wl.legw_schedule(b).warmup_iterations for b in wl.batches]
+        assert max(iters) - min(iters) <= 1
+
+
+class TestScoreOf:
+    def test_diverged_is_nan(self):
+        r = TrainResult(log=None)  # type: ignore[arg-type]
+        r.diverged = True
+        r.final_metrics = {"m": 1.0}
+        assert math.isnan(score_of(r, "m"))
+
+    def test_missing_metric_is_nan(self):
+        r = TrainResult(log=None)  # type: ignore[arg-type]
+        assert math.isnan(score_of(r, "m"))
+
+    def test_normal_score(self):
+        r = TrainResult(log=None)  # type: ignore[arg-type]
+        r.final_metrics = {"m": 0.5}
+        assert score_of(r, "m") == 0.5
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        expected = {f"figure{i}" for i in range(1, 11)} | {
+            "table1", "table2", "table3",
+            "ablation_warmup", "ablation_scaling",
+            "ablation_allreduce", "ablation_lars", "ablation_lamb",
+            "extension_growbatch",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+
+class TestAnalyticDrivers:
+    """Drivers that involve no training run in milliseconds — test fully."""
+
+    def test_figure2_schedule_columns(self):
+        out = run_experiment("figure2")
+        rows = out["rows"]
+        assert len(rows) == 6
+        # peak LR follows 2^(2.5 + s/2); warmup epochs double with batch
+        peaks = [float(r["peak LR"]) for r in rows]
+        for j, p in enumerate(peaks):
+            assert p == pytest.approx(2.0 ** (2.5 + 0.5 * j), rel=1e-3)
+        wu = [float(r["warmup epochs"]) for r in rows]
+        for a, b in zip(wu, wu[1:]):
+            assert b == pytest.approx(2 * a, rel=1e-6)
+        # warmup iterations ~constant across the ladder (Table 2 corollary;
+        # ImageNet's 1,281,167 samples divide raggedly, so ceil() rounding
+        # drifts the count by a couple of percent at 32K)
+        iters = [float(r["warmup iters"]) for r in rows]
+        assert max(iters) - min(iters) <= 0.03 * max(iters)
+
+    def test_figure2_series_shapes(self):
+        out = run_experiment("figure2")
+        assert set(out["series"]) == {"multistep", "poly"}
+        assert len(out["series"]["multistep"][1024]) == 90
+
+    def test_figure4_average_speedup_near_paper(self):
+        out = run_experiment("figure4")
+        assert out["average"] == pytest.approx(5.3, abs=0.3)
+        assert out["speedups"]["gnmt"] == pytest.approx(120 / 33, rel=0.05)
+        assert all(s > 1.0 for s in out["speedups"].values())
+
+    def test_table1_rows_match_builders(self):
+        out = run_experiment("table1")
+        assert set(out["apps"]) == set(ALL_WORKLOADS)
+        for name in ALL_WORKLOADS:
+            wl = build_workload(name)
+            assert out["apps"][name]["n_train"] == wl.n_train
+            assert out["apps"][name]["solver"] == wl.solver
+
+    def test_ablation_allreduce_orderings(self):
+        out = run_experiment("ablation_allreduce")
+        ring = out["series"]["ring"]
+        naive = out["series"]["naive"]
+        # large-gradient regime: ring always beats naive beyond 2 workers
+        assert all(r < n for r, n in zip(ring[1:], naive[1:]))
+
+    def test_driver_text_present(self):
+        for exp in ("figure2", "figure4", "table1", "ablation_allreduce"):
+            out = run_experiment(exp)
+            assert isinstance(out["text"], str) and out["text"]

@@ -1,0 +1,111 @@
+"""The extensions compose: accumulation×LEGW, EMA×trainer, scaler×LEGW.
+
+Each extension is unit-tested in isolation; these tests exercise the
+combinations a real user would run, pinning the cross-cutting invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.models import MnistLSTMClassifier
+from repro.optim import DynamicLossScaler, EMAWeights, Momentum
+from repro.schedules import LEGW
+from repro.train import AccumulatingTrainer, LambdaCallback, Trainer
+
+
+@pytest.fixture
+def mnist():
+    return make_sequential_mnist(128, 32, rng=0, size=8)
+
+
+def make_model(seed=3):
+    return MnistLSTMClassifier(rng=seed, input_dim=8, transform_dim=8, hidden=8)
+
+
+@pytest.mark.slow
+class TestCompositions:
+    def test_accumulation_under_legw_equals_large_batch_legw(self, mnist):
+        """LEGW schedules count *logical* iterations, so accumulating
+        4 micro-batches must trace the identical LR trajectory and the
+        identical weights as true large-batch LEGW training."""
+        train, _ = mnist
+        big_batch, micro = 32, 8
+        spe = -(-len(train) // big_batch)
+        sched = LEGW(0.05, 8, 0.2, big_batch, spe)
+
+        big = make_model()
+        Trainer(
+            big.loss, Momentum(big, lr=0.05), sched,
+            BatchIterator(train, big_batch, rng=1, shuffle=False),
+        ).run(2)
+
+        acc = make_model()
+        AccumulatingTrainer(
+            acc.loss, Momentum(acc, lr=0.05), sched,
+            BatchIterator(train, micro, rng=1, shuffle=False),
+            accum_steps=big_batch // micro,
+        ).run(2)
+
+        for (name, a), (_, b) in zip(
+            big.named_parameters(), acc.named_parameters()
+        ):
+            assert np.allclose(a.data, b.data, atol=1e-10), name
+
+    def test_ema_tracks_training_through_callback(self, mnist):
+        train, test = mnist
+        model = make_model()
+        ema = EMAWeights(list(model.named_parameters()), decay=0.9)
+        cb = LambdaCallback(on_iteration=lambda i, loss, lr: ema.update())
+        Trainer(
+            model.loss, Momentum(model, lr=0.05),
+            LEGW(0.05, 8, 0.1, 16, -(-len(train) // 16)),
+            BatchIterator(train, 16, rng=1),
+            callbacks=[cb],
+        ).run(3)
+        # the shadow moved away from init and toward the live weights
+        live = model.state_dict()
+        with ema:
+            shadow = model.state_dict()
+        gaps = [
+            np.abs(live[name] - shadow[name]).max() for name in live
+        ]
+        assert max(gaps) > 0.0  # shadow lags the live weights...
+        fresh = make_model().state_dict()
+        closer = sum(
+            np.abs(shadow[name] - live[name]).sum()
+            < np.abs(fresh[name] - live[name]).sum()
+            for name in live
+        )
+        assert closer > len(live) // 2  # ...but is far closer than init
+
+    def test_loss_scaler_with_legw_matches_unscaled(self, mnist):
+        """Loss scaling composed with a LEGW schedule is a no-op on the
+        trajectory (float64 powers of two are exact)."""
+        train, _ = mnist
+        spe = -(-len(train) // 16)
+        sched = LEGW(0.05, 8, 0.1, 16, spe)
+
+        plain = make_model()
+        opt_p = Momentum(plain, lr=0.05)
+        scaled = make_model()
+        opt_s = Momentum(scaled, lr=0.05)
+        scaler = DynamicLossScaler(initial_scale=2.0**12)
+
+        it = BatchIterator(train, 16, rng=1, shuffle=False)
+        iteration = 0
+        for _ in range(2):
+            for batch in it:
+                lr = sched(iteration)
+                opt_p.zero_grad()
+                plain.loss(batch).backward()
+                opt_p.step(lr=lr)
+                opt_s.zero_grad()
+                scaler.scaled(scaled.loss(batch)).backward()
+                assert scaler.unscale_and_check(scaled.parameters())
+                opt_s.step(lr=lr)
+                iteration += 1
+        for a, b in zip(plain.parameters(), scaled.parameters()):
+            assert np.array_equal(a.data, b.data)

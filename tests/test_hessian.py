@@ -1,0 +1,102 @@
+"""Hessian power iteration: exact on quadratics, sane on real models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hessian_vector_product,
+    top_hessian_eigenvalue,
+)
+from repro.nn import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic(rng, n=6, scale=3.0):
+    """f(x) = 0.5 xᵀAx with SPD A of known spectrum."""
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.sort(rng.uniform(0.5, scale, n))
+    a = q @ np.diag(eigs) @ q.T
+    a_t = Tensor(a)
+    x = Parameter(rng.standard_normal(n))
+
+    def loss_fn(batch):
+        del batch
+        return 0.5 * (x @ (a_t @ x))
+
+    return a, eigs, x, loss_fn
+
+
+class TestHVP:
+    def test_exact_on_quadratic(self, rng):
+        a, _, x, loss_fn = quadratic(rng)
+        v = rng.standard_normal(x.size)
+        hv = hessian_vector_product(loss_fn, None, [x], v)
+        assert np.allclose(hv, a @ v, atol=1e-4)
+
+    def test_linear_in_v(self, rng):
+        a, _, x, loss_fn = quadratic(rng)
+        v = rng.standard_normal(x.size)
+        hv1 = hessian_vector_product(loss_fn, None, [x], v)
+        hv2 = hessian_vector_product(loss_fn, None, [x], 2.5 * v)
+        assert np.allclose(hv2, 2.5 * hv1, atol=1e-4)
+
+    def test_zero_vector(self, rng):
+        _, _, x, loss_fn = quadratic(rng)
+        assert np.allclose(
+            hessian_vector_product(loss_fn, None, [x], np.zeros(x.size)), 0.0
+        )
+
+    def test_restores_parameters(self, rng):
+        _, _, x, loss_fn = quadratic(rng)
+        before = x.data.copy()
+        hessian_vector_product(loss_fn, None, [x], np.ones(x.size))
+        assert np.allclose(x.data, before, atol=1e-12)
+
+
+class TestPowerIteration:
+    def test_finds_top_eigenvalue(self, rng):
+        a, eigs, x, loss_fn = quadratic(rng)
+        result = top_hessian_eigenvalue(loss_fn, None, [x], rng=0)
+        assert result.converged
+        assert result.eigenvalue == pytest.approx(eigs[-1], rel=1e-2)
+
+    def test_eigenvector_is_fixed_direction(self, rng):
+        a, eigs, x, loss_fn = quadratic(rng)
+        result = top_hessian_eigenvalue(loss_fn, None, [x], rng=0)
+        av = a @ result.eigenvector
+        cos = av @ result.eigenvector / np.linalg.norm(av)
+        assert abs(cos) > 0.999
+
+    def test_max_stable_lr(self, rng):
+        a, eigs, x, loss_fn = quadratic(rng)
+        result = top_hessian_eigenvalue(loss_fn, None, [x], rng=0)
+        assert result.max_stable_lr() == pytest.approx(2.0 / eigs[-1], rel=2e-2)
+
+    def test_dominates_lipschitz_estimate(self, rng):
+        """λ_max upper-bounds the along-gradient curvature L(x, g)."""
+        from repro.analysis import lipschitz_estimate
+
+        a, eigs, x, loss_fn = quadratic(rng)
+        lam = top_hessian_eigenvalue(loss_fn, None, [x], rng=0).eigenvalue
+        l_grad = lipschitz_estimate(loss_fn, None, [x])
+        assert l_grad <= lam * (1 + 1e-3)
+
+    def test_on_real_model(self, rng):
+        """On the MNIST LSTM the estimate is finite, positive and stable
+        across two different random starts."""
+        from repro.data import make_sequential_mnist
+        from repro.models import MnistLSTMClassifier
+
+        train, _ = make_sequential_mnist(32, 8, rng=0, size=8)
+        model = MnistLSTMClassifier(rng=1, input_dim=8, transform_dim=8, hidden=8)
+        batch = (train.inputs, train.targets)
+        r1 = top_hessian_eigenvalue(
+            model.loss, batch, model.parameters(), rng=0, max_iterations=30
+        )
+        r2 = top_hessian_eigenvalue(
+            model.loss, batch, model.parameters(), rng=7, max_iterations=30
+        )
+        assert np.isfinite(r1.eigenvalue) and r1.eigenvalue > 0
+        assert r1.eigenvalue == pytest.approx(r2.eigenvalue, rel=0.2)

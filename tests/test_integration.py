@@ -1,0 +1,138 @@
+"""Integration tests: each of the five applications actually learns, and
+the paper's core qualitative claims hold at miniature scale.
+
+These train real models for a handful of epochs, so they're the slowest
+tests in the suite (tens of seconds total).  Thresholds are deliberately
+loose — they assert *learning happened*, not exact figures; the figure
+shapes themselves are the benchmark suite's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    MarkovLanguageSource,
+    PaddedBatchIterator,
+    TranslationTask,
+    Vocab,
+    make_image_classification,
+    make_ptb_corpus,
+    make_sequential_mnist,
+    make_translation_dataset,
+)
+from repro.data.vocab import BOS, EOS, PAD
+from repro.models import GNMT, MiniResNet, MnistLSTMClassifier, PTBLanguageModel
+from repro.optim import Adam, LARS, Momentum
+from repro.parallel import SimCluster
+from repro.schedules import ConstantLR, LEGW
+from repro.train import Trainer
+
+
+@pytest.mark.slow
+class TestApplicationsLearn:
+    def test_mnist_lstm_beats_chance_quickly(self):
+        train, test = make_sequential_mnist(512, 128, rng=0, size=14)
+        model = MnistLSTMClassifier(rng=1, input_dim=14, transform_dim=32, hidden=32)
+        it = BatchIterator(train, 16, rng=2)
+        result = Trainer(
+            model.loss, Momentum(model, lr=0.02), ConstantLR(0.02), it,
+            eval_fn=lambda: model.evaluate(test),
+        ).run(6)
+        assert result.final_metrics["accuracy"] > 0.6  # chance is 0.1
+
+    def test_ptb_lstm_beats_unigram(self):
+        source = MarkovLanguageSource(50, rng=0)
+        train = make_ptb_corpus(source, 6000, 20, rng=1)
+        val = make_ptb_corpus(source, 1200, 20, rng=2)
+        model = PTBLanguageModel(50, rng=3, embed_dim=32, hidden=32)
+        it = BatchIterator(train, 20, rng=4)
+        result = Trainer(
+            model.loss, Momentum(model, lr=8.0), ConstantLR(8.0), it,
+            eval_fn=lambda: model.evaluate(val), grad_clip=5.0,
+        ).run(8)
+        ppl = result.final_metrics["perplexity"]
+        assert ppl < source.unigram_perplexity()  # sequential structure learned
+        assert ppl > source.perplexity_floor() * 0.95  # and no cheating
+
+    def test_gnmt_learns_translation(self):
+        vocab = Vocab(20)
+        task = TranslationTask(vocab, rng=0, fertility_fraction=0.0)
+        pairs = make_translation_dataset(task, 384, rng=1, min_len=3, max_len=6)
+        test_pairs = make_translation_dataset(task, 40, rng=2, min_len=3, max_len=6)
+        model = GNMT(vocab, rng=3, embed_dim=32, hidden=32, enc_layers=2, dec_layers=2)
+        it = PaddedBatchIterator(pairs, 16, rng=4, pad_id=PAD, bos_id=BOS, eos_id=EOS)
+        before = model.evaluate_bleu(test_pairs)["bleu"]
+        Trainer(
+            model.loss, Adam(model, lr=0.01), ConstantLR(0.01), it, grad_clip=5.0
+        ).run(14)
+        after = model.evaluate_bleu(test_pairs)["bleu"]
+        assert after > before + 20.0
+        assert after > 30.0
+
+    def test_resnet_learns_with_lars(self):
+        train, test, nc = make_image_classification(320, 80, rng=0, num_classes=10, size=8)
+        model = MiniResNet(3, nc, rng=1, stage_channels=(8,), blocks_per_stage=1)
+        it = BatchIterator(train, 32, rng=2)
+        result = Trainer(
+            model.loss,
+            LARS(model, lr=1.0, weight_decay=1e-4, trust_coefficient=0.02),
+            ConstantLR(1.0),
+            it,
+            eval_fn=lambda: model.evaluate(test),
+        ).run(4)
+        assert result.final_metrics["top5"] > 0.8  # chance top-5 is 0.5
+        assert result.final_metrics["top1"] > 0.3  # chance top-1 is 0.1
+
+
+@pytest.mark.slow
+class TestPaperClaims:
+    def test_legw_tracks_baseline_across_batch_scaling(self):
+        """The core LEGW claim at the calibrated MNIST workload: scaling
+        batch x16 under sqrt LR + linear-epoch warmup preserves accuracy."""
+        from repro.experiments import build_workload, score_of
+
+        wl = build_workload("mnist", "smoke")
+        base = score_of(wl.run_legw(wl.base_batch, seed=1), "accuracy")
+        big = score_of(wl.run_legw(wl.batches[-1], seed=1), "accuracy")
+        assert base > 0.9  # the baseline itself is healthy
+        assert big > base - 0.08  # and the scaled run tracks it
+
+    def test_linear_scaling_breaks_where_legw_survives(self):
+        """Figure 1's mechanism: at a large batch ratio, the linearly
+        scaled LR destroys training while LEGW's sqrt LR keeps learning."""
+        from repro.experiments import build_workload, score_of
+
+        wl = build_workload("mnist", "smoke")
+        batch = wl.batches[-1]
+        legw = score_of(wl.run_legw(batch, seed=1), "accuracy")
+        linear = score_of(
+            wl.run(batch, wl.scaled_schedule(batch, "linear", 0.0), seed=1),
+            "accuracy",
+        )
+        assert legw > linear + 0.2
+
+    def test_simcluster_training_is_exactly_large_batch_training(self):
+        """Distributed equivalence, end to end: k-worker SimCluster descent
+        equals single-process large-batch descent, step for step."""
+        train, _ = make_sequential_mnist(64, 16, rng=0, size=8)
+        ref = MnistLSTMClassifier(rng=5, input_dim=8, transform_dim=8, hidden=8)
+        dist = MnistLSTMClassifier(rng=5, input_dim=8, transform_dim=8, hidden=8)
+        opt_ref = Momentum(ref, lr=0.1)
+        opt_dist = Momentum(dist, lr=0.1)
+        cluster = SimCluster(dist.parameters(), dist.loss, n_workers=4)
+        it = BatchIterator(train, 32, rng=6, shuffle=False)
+        for _ in range(2):
+            for batch in it:
+                opt_ref.zero_grad()
+                ref.loss(batch).backward()
+                opt_ref.step()
+                cluster.gradient_step(batch)
+                opt_dist.step()
+        for (na, pa), (nb, pb) in zip(
+            ref.named_parameters(), dist.named_parameters()
+        ):
+            assert na == nb
+            assert np.allclose(pa.data, pb.data, atol=1e-9), na

@@ -1,0 +1,110 @@
+"""Dynamic loss scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import DynamicLossScaler, SGD
+from repro.tensor import Tensor
+
+
+def quadratic(rng, n=4):
+    x = Parameter(rng.standard_normal(n))
+
+    def loss_fn():
+        return 0.5 * ((x * x).sum())
+
+    return x, loss_fn
+
+
+class TestScaling:
+    def test_clean_step_identical_to_unscaled(self, rng):
+        """Scale-up then unscale must reproduce the unscaled gradient
+        bit-for-bit (float64 multiplication by a power of two is exact)."""
+        x, loss_fn = quadratic(rng)
+        x.grad = None
+        loss_fn().backward()
+        reference = x.grad.copy()
+        x.grad = None
+        scaler = DynamicLossScaler(initial_scale=2.0**15)
+        scaler.scaled(loss_fn()).backward()
+        assert scaler.unscale_and_check([x])
+        assert np.array_equal(x.grad, reference)
+
+    def test_overflow_skips_and_backs_off(self, rng):
+        x, _ = quadratic(rng)
+        scaler = DynamicLossScaler(initial_scale=1024.0)
+        x.grad = np.array([np.inf, 0.0, 0.0, 0.0])
+        assert not scaler.unscale_and_check([x])
+        assert x.grad is None  # gradients dropped: the step must be skipped
+        assert scaler.scale == 512.0
+        assert scaler.steps_skipped == 1
+
+    def test_growth_after_interval(self, rng):
+        x, loss_fn = quadratic(rng)
+        scaler = DynamicLossScaler(initial_scale=8.0, growth_interval=3)
+        for _ in range(3):
+            x.grad = None
+            scaler.scaled(loss_fn()).backward()
+            assert scaler.unscale_and_check([x])
+        assert scaler.scale == 16.0
+
+    def test_scale_bounds_respected(self, rng):
+        x, _ = quadratic(rng)
+        scaler = DynamicLossScaler(
+            initial_scale=2.0, min_scale=1.0, growth_interval=1,
+            max_scale=4.0,
+        )
+        x.grad = np.full(4, np.nan)
+        scaler.unscale_and_check([x])
+        x.grad = np.full(4, np.nan)
+        scaler.unscale_and_check([x])
+        assert scaler.scale == 1.0  # clamped at min
+        for _ in range(5):
+            x.grad = np.ones(4)
+            scaler.unscale_and_check([x])
+        assert scaler.scale == 4.0  # clamped at max
+
+    def test_overflow_resets_growth_streak(self, rng):
+        x, _ = quadratic(rng)
+        scaler = DynamicLossScaler(initial_scale=8.0, growth_interval=2)
+        x.grad = np.ones(4)
+        scaler.unscale_and_check([x])  # clean 1
+        x.grad = np.full(4, np.inf)
+        scaler.unscale_and_check([x])  # overflow: streak resets
+        x.grad = np.ones(4)
+        scaler.unscale_and_check([x])  # clean 1 again
+        assert scaler.scale == 4.0  # backed off once, no growth yet
+
+    def test_end_to_end_training_with_scaler(self, rng):
+        """A full scaled-training loop descends exactly like plain SGD."""
+        x_plain, loss_plain = quadratic(rng)
+        x_scaled = Parameter(x_plain.data.copy())
+
+        def loss_scaled():
+            return 0.5 * ((x_scaled * x_scaled).sum())
+
+        opt_plain = SGD([x_plain], lr=0.1)
+        opt_scaled = SGD([x_scaled], lr=0.1)
+        scaler = DynamicLossScaler(initial_scale=2.0**10)
+        for _ in range(10):
+            x_plain.grad = None
+            loss_plain().backward()
+            opt_plain.step()
+            x_scaled.grad = None
+            scaler.scaled(loss_scaled()).backward()
+            assert scaler.unscale_and_check([x_scaled])
+            opt_scaled.step()
+        assert np.array_equal(x_plain.data, x_scaled.data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicLossScaler(initial_scale=0.0)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(backoff_factor=1.5)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(growth_interval=0)

@@ -1,0 +1,73 @@
+"""Hypothesis property tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.train import accuracy, corpus_bleu, top_k_accuracy
+
+token_seq = st.lists(st.integers(0, 7), min_size=4, max_size=15)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(token_seq, min_size=1, max_size=4))
+def test_bleu_symmetric_on_identity_and_bounded(corpus):
+    assert abs(corpus_bleu(corpus, corpus) - 100.0) < 1e-6
+    shuffled = [list(reversed(seq)) for seq in corpus]
+    s = corpus_bleu(corpus, shuffled)
+    assert 0.0 <= s <= 100.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(token_seq, st.integers(1, 3))
+def test_bleu_degrades_with_corruption(ref, n_corrupt):
+    """Replacing tokens with out-of-vocabulary ids never raises BLEU."""
+    hyp_clean = list(ref)
+    hyp_bad = list(ref)
+    for i in range(min(n_corrupt, len(hyp_bad))):
+        hyp_bad[i] = 99  # token absent from the reference
+    clean = corpus_bleu([ref], [hyp_clean])
+    bad = corpus_bleu([ref], [hyp_bad])
+    assert bad <= clean + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 10), st.integers(1, 40), st.integers(0, 2**31 - 1)
+)
+def test_accuracy_in_unit_interval_and_exact_on_labels(classes, n, seed):
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, classes, n)
+    preds = rng.integers(0, classes, n)
+    acc = accuracy(preds, targets)
+    assert 0.0 <= acc <= 1.0
+    assert acc == (preds == targets).mean()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_topk_sandwich(classes, n, seed):
+    """top-1 <= top-k <= 1 and top-C == 1 for C classes."""
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((n, classes))
+    targets = rng.integers(0, classes, n)
+    top1 = top_k_accuracy(logits, targets, k=1)
+    for k in range(1, classes + 1):
+        topk = top_k_accuracy(logits, targets, k=k)
+        assert top1 - 1e-12 <= topk <= 1.0
+    assert top_k_accuracy(logits, targets, k=classes) == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(token_seq, min_size=2, max_size=5))
+def test_bleu_invariant_to_segment_order(corpus):
+    """Corpus BLEU aggregates n-gram counts; permuting parallel segments
+    leaves the score unchanged."""
+    hyps = [list(seq) for seq in corpus]
+    base = corpus_bleu(corpus, hyps)
+    perm = list(reversed(range(len(corpus))))
+    permuted = corpus_bleu(
+        [corpus[i] for i in perm], [hyps[i] for i in perm]
+    )
+    assert abs(base - permuted) < 1e-9

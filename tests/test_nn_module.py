@@ -1,0 +1,119 @@
+"""Module system: traversal, state dicts, modes, containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class Tiny(Module):
+    def __init__(self, rng=0):
+        super().__init__()
+        self.fc1 = Linear(3, 4, rng=rng)
+        self.fc2 = Linear(4, 2, rng=rng)
+        self.scale = Parameter([2.0])
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestTraversal:
+    def test_named_parameters_dotted(self):
+        names = [n for n, _ in Tiny().named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+
+    def test_parameters_count(self):
+        m = Tiny()
+        # fc1: 3*4 + 4; fc2: 4*2 + 2; scale: 1
+        assert m.num_parameters() == 12 + 4 + 8 + 2 + 1
+
+    def test_modules_preorder(self):
+        m = Tiny()
+        mods = list(m.modules())
+        assert mods[0] is m and len(mods) == 3
+
+    def test_module_list_traversal(self):
+        ml = ModuleList([Linear(2, 2, rng=0), Linear(2, 2, rng=1)])
+        names = [n for n, _ in ml.named_parameters()]
+        assert "0.weight" in names and "1.bias" in names
+
+    def test_module_list_len_getitem_append(self):
+        ml = ModuleList()
+        ml.append(Linear(2, 2, rng=0))
+        assert len(ml) == 1 and isinstance(ml[0], Linear)
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ModuleList()(None)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a, b = Tiny(rng=1), Tiny(rng=2)
+        state = a.state_dict()
+        b.load_state_dict(state)
+        x = rng.standard_normal((5, 3))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Tiny()
+        state = m.state_dict()
+        state["scale"][0] = 99.0
+        assert m.scale.data[0] == 2.0
+
+    def test_missing_key_raises(self):
+        m = Tiny()
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = Tiny()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Tiny()
+        state = m.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=1))
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_zero_grad_clears(self, rng):
+        m = Tiny()
+        out = m(Tensor(rng.standard_normal((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestSequential:
+    def test_composes_in_order(self, rng):
+        l1, l2 = Linear(3, 4, rng=0), Linear(4, 2, rng=1)
+        seq = Sequential(l1, l2)
+        x = Tensor(rng.standard_normal((5, 3)))
+        assert np.allclose(seq(x).data, l2(l1(x)).data)
+
+    def test_params_gathered(self):
+        seq = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
+        assert len(seq.parameters()) == 4

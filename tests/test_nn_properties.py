@@ -1,0 +1,81 @@
+"""Hypothesis property tests for the neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.nn import BatchNorm2d, Linear, LSTM, LSTMCell
+from repro.tensor import Tensor
+
+seeds = st.integers(0, 2**31 - 1)
+small = st.integers(1, 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small, small, small, seeds)
+def test_linear_is_affine(n_in, n_out, batch, seed):
+    """f(ax + by) == a f(x) + b f(y) − (a+b−1) f(0): exact affinity."""
+    rng = np.random.default_rng(seed)
+    layer = Linear(n_in, n_out, rng=seed)
+    layer.bias.data[:] = rng.standard_normal(n_out)
+    x = rng.standard_normal((batch, n_in))
+    y = rng.standard_normal((batch, n_in))
+    a, b = 2.0, -0.5
+    lhs = layer(Tensor(a * x + b * y)).data
+    f0 = layer(Tensor(np.zeros((batch, n_in)))).data
+    rhs = a * layer(Tensor(x)).data + b * layer(Tensor(y)).data - (a + b - 1) * f0
+    assert np.allclose(lhs, rhs, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small, small, st.integers(1, 6), seeds)
+def test_lstm_outputs_bounded(input_size, hidden, seq_len, seed):
+    """h = o·tanh(c): every LSTM output lies in (−1, 1) regardless of
+    input magnitude."""
+    rng = np.random.default_rng(seed)
+    lstm = LSTM(input_size, hidden, num_layers=1, rng=seed)
+    x = Tensor(rng.standard_normal((seq_len, 2, input_size)) * 50.0)
+    out, _ = lstm(x)
+    assert np.all(np.abs(out.data) < 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small, small, seeds)
+def test_lstm_cell_state_deterministic(input_size, hidden, seed):
+    rng = np.random.default_rng(seed)
+    cell = LSTMCell(input_size, hidden, rng=seed)
+    x = Tensor(rng.standard_normal((3, input_size)))
+    out1, (h1, c1) = cell(x, cell.zero_state(3))
+    out2, (h2, c2) = cell(x, cell.zero_state(3))
+    assert np.array_equal(out1.data, out2.data)
+    assert np.array_equal(c1.data, c2.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4), st.integers(2, 8), seeds)
+def test_batchnorm_output_statistics(channels, batch, seed):
+    rng = np.random.default_rng(seed)
+    bn = BatchNorm2d(channels)
+    x = Tensor(rng.standard_normal((batch, channels, 3, 3)) * 7 + 3)
+    out = bn(x).data
+    means = out.mean(axis=(0, 2, 3))
+    assert np.allclose(means, 0.0, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small, st.integers(2, 5), seeds)
+def test_lstm_mask_prefix_property(hidden, seq_len, seed):
+    """Masking out a suffix equals truncating the input to the prefix."""
+    rng = np.random.default_rng(seed)
+    lstm = LSTM(3, hidden, num_layers=1, rng=seed)
+    keep = rng.integers(1, seq_len + 1)
+    x_full = rng.standard_normal((seq_len, 1, 3))
+    mask = np.zeros((seq_len, 1))
+    mask[:keep] = 1.0
+    out_masked, states_masked = lstm(Tensor(x_full), mask=mask)
+    out_trunc, states_trunc = lstm(Tensor(x_full[:keep]))
+    assert np.allclose(out_masked.data[:keep], out_trunc.data, atol=1e-12)
+    assert np.allclose(
+        states_masked[0][0].data, states_trunc[0][0].data, atol=1e-12
+    )

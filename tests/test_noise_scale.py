@@ -1,0 +1,96 @@
+"""Gradient noise scale estimator (analysis extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_noise_scale
+from repro.nn import Parameter
+from repro.tensor import Tensor
+
+
+class TestNoiseScaleOnLinearRegression:
+    """Least squares with known noise: tr(Σ) and ||G||² have closed forms
+    we can sanity-band, and the estimator's qualitative behaviour (more
+    label noise ⇒ larger noise scale) must hold."""
+
+    def make_problem(self, rng, noise_std, n=4096, d=6):
+        w_true = rng.standard_normal(d)
+        xs = rng.standard_normal((n, d))
+        ys = xs @ w_true + noise_std * rng.standard_normal(n)
+        w = Parameter(np.zeros(d))
+
+        def loss_fn(batch):
+            xb, yb = batch
+            resid = Tensor(xb) @ w - Tensor(yb)
+            return (resid * resid).mean()
+
+        def make_batch(size, gen):
+            idx = gen.integers(0, n, size)
+            return xs[idx], ys[idx]
+
+        return w, loss_fn, make_batch
+
+    def test_noise_scale_grows_with_label_noise(self, rng):
+        scales = []
+        for noise_std in (0.1, 2.0):
+            w, loss_fn, make_batch = self.make_problem(rng, noise_std)
+            est = estimate_noise_scale(
+                loss_fn, make_batch, [w], b_small=8, b_big=256, rng=1, n_pairs=12
+            )
+            scales.append(est.noise_scale)
+        assert scales[1] > 3.0 * scales[0]
+
+    def test_estimates_nonnegative_and_finite(self, rng):
+        w, loss_fn, make_batch = self.make_problem(rng, 1.0)
+        est = estimate_noise_scale(
+            loss_fn, make_batch, [w], b_small=8, b_big=128, rng=2, n_pairs=6
+        )
+        assert est.noise_scale >= 0.0
+        assert np.isfinite(est.noise_scale)
+        assert est.trace_sigma >= 0.0
+        assert est.grad_sq_norm > 0.0
+        assert est.critical_batch() == est.noise_scale
+
+    def test_matches_finite_population_truth(self, rng):
+        """The two-batch estimator lands near the exact noise scale
+        computed from the full per-example gradient population."""
+        n, d, noise_std = 4096, 6, 1.0
+        w_true = rng.standard_normal(d)
+        xs = rng.standard_normal((n, d))
+        ys = xs @ w_true + noise_std * rng.standard_normal(n)
+        from repro.nn import Parameter
+        from repro.tensor import Tensor
+
+        w = Parameter(np.zeros(d))
+        # per-example gradients of (x.w - y)^2: g_i = 2 (x_i.w - y_i) x_i
+        per_example = 2.0 * (xs @ w.data - ys)[:, None] * xs
+        g_true = per_example.mean(axis=0)
+        trace_sigma_true = per_example.var(axis=0).sum()
+        scale_true = trace_sigma_true / (g_true @ g_true)
+
+        def loss_fn(batch):
+            xb, yb = batch
+            resid = Tensor(xb) @ w - Tensor(yb)
+            return (resid * resid).mean()
+
+        def make_batch(size, gen):
+            idx = gen.integers(0, n, size)
+            return xs[idx], ys[idx]
+
+        est = estimate_noise_scale(
+            loss_fn, make_batch, [w], b_small=8, b_big=512, rng=5, n_pairs=32
+        )
+        assert est.noise_scale == pytest.approx(scale_true, rel=0.6)
+
+    def test_validation(self, rng):
+        w, loss_fn, make_batch = self.make_problem(rng, 1.0)
+        with pytest.raises(ValueError):
+            estimate_noise_scale(loss_fn, make_batch, [w], 8, 8, rng=0)
+        with pytest.raises(ValueError):
+            estimate_noise_scale(loss_fn, make_batch, [w], 16, 8, rng=0)
+        with pytest.raises(ValueError):
+            estimate_noise_scale(
+                loss_fn, make_batch, [w], 8, 64, rng=0, n_pairs=0
+            )

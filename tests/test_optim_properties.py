@@ -1,0 +1,130 @@
+"""Hypothesis property tests for the optimizer family."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.nn import Parameter
+from repro.optim import LAMB, LARS, SGD, Adam, Momentum, clip_grad_norm
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(0.05, 1.9), st.integers(2, 8), st.integers(0, 2**31 - 1)
+)
+def test_sgd_converges_below_stability_bound(lr_frac, n, seed):
+    """On a quadratic with curvature diag(d), GD converges iff
+    lr < 2/max(d) — test the convergent side of the bound."""
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(0.5, 3.0, n)
+    lr = lr_frac / diag.max()  # lr_frac < 2 => stable
+    x = Parameter(rng.standard_normal(n))
+    opt = SGD([x], lr=lr)
+    first = float(diag @ (x.data**2))
+    for _ in range(200):
+        x.grad = diag * x.data
+        opt.step()
+    assert float(diag @ (x.data**2)) < first + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(2.2, 10.0), st.integers(0, 2**31 - 1))
+def test_sgd_diverges_above_stability_bound(lr_frac, seed):
+    """...and the divergent side: lr > 2/λ blows the iterate up."""
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(0.5, 3.0, 4)
+    lr = lr_frac / diag.max()
+    x = Parameter(rng.standard_normal(4) + 0.1)
+    opt = SGD([x], lr=lr)
+    start = np.abs(x.data).max()
+    for _ in range(50):
+        x.grad = diag * x.data
+        opt.step()
+    assert np.abs(x.data).max() > start
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1e-3, 1e3), st.integers(0, 2**31 - 1))
+def test_lars_update_direction_invariant_to_grad_scale(scale, seed):
+    rng = np.random.default_rng(seed)
+    w1 = Parameter(rng.standard_normal((3, 3)))
+    w2 = Parameter(w1.data.copy())
+    g = rng.standard_normal((3, 3))
+    assume(np.linalg.norm(g) > 1e-6)
+    LARS([("w", w1)], lr=0.1, trust_coefficient=0.01)._update  # noqa: B018
+    o1 = LARS([("w", w1)], lr=0.1, trust_coefficient=0.01)
+    o2 = LARS([("w", w2)], lr=0.1, trust_coefficient=0.01)
+    w1.grad = g.copy()
+    w2.grad = scale * g
+    o1.step()
+    o2.step()
+    assert np.allclose(w1.data, w2.data, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1e-2, 1e2), st.integers(0, 2**31 - 1))
+def test_lamb_step_norm_is_lr_times_weight_norm(lr_scale, seed):
+    rng = np.random.default_rng(seed)
+    lr = 1e-3 * lr_scale
+    w = Parameter(rng.standard_normal((4, 2)))
+    assume(np.linalg.norm(w.data) > 1e-6)
+    before = w.data.copy()
+    w.grad = rng.standard_normal((4, 2))
+    assume(np.linalg.norm(w.grad) > 1e-6)
+    LAMB([("w", w)], lr=lr).step()
+    assert np.isclose(
+        np.linalg.norm(w.data - before),
+        lr * np.linalg.norm(before),
+        rtol=1e-6,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(-100, 100), min_size=1, max_size=16),
+    st.floats(0.01, 50.0),
+)
+def test_clip_grad_norm_postcondition(grads, max_norm):
+    p = Parameter(np.zeros(len(grads)))
+    p.grad = np.asarray(grads, dtype=float)
+    pre = float(np.linalg.norm(p.grad))
+    returned = clip_grad_norm([p], max_norm)
+    assert np.isclose(returned, pre)
+    assert np.linalg.norm(p.grad) <= max_norm * (1 + 1e-9)
+    if pre <= max_norm:
+        assert np.allclose(p.grad, grads)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_adam_first_step_magnitude_is_lr(steps_before, seed):
+    """After a reset, Adam's bias correction makes the first step's
+    per-coordinate magnitude exactly lr for any nonzero gradient."""
+    rng = np.random.default_rng(seed)
+    x = Parameter(rng.standard_normal(5))
+    g = rng.standard_normal(5)
+    assume(np.abs(g).min() > 1e-3)
+    before = x.data.copy()
+    Adam([("x", x)], lr=0.01).step() if False else None
+    opt = Adam([("x", x)], lr=0.01)
+    x.grad = g
+    opt.step()
+    assert np.allclose(np.abs(x.data - before), 0.01, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.0, 0.99), st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_momentum_velocity_is_geometric_sum(m, steps, seed):
+    """With a constant gradient, the momentum displacement follows the
+    closed-form geometric series — an exact law for the implementation."""
+    rng = np.random.default_rng(seed)
+    g = float(rng.uniform(0.5, 2.0))
+    x = Parameter(np.zeros(1))
+    opt = Momentum([("x", x)], lr=1.0, momentum=m)
+    for _ in range(steps):
+        x.grad = np.array([g])
+        opt.step()
+    # displacement = -g * sum_{t=1..T} sum_{j=0..t-1} m^j
+    expected = -g * sum((1 - m**t) / (1 - m) if m > 0 else 1.0 for t in range(1, steps + 1))
+    assert np.isclose(x.data[0], expected, rtol=1e-9)

@@ -1,0 +1,69 @@
+"""Bit-reproducibility guarantees: same seeds ⇒ identical runs.
+
+Determinism is a design requirement (DESIGN.md §7): every figure in
+EXPERIMENTS.md must be regenerable exactly.  These tests train real
+(tiny) models twice from identical seeds and require *identical* — not
+merely close — results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.experiments import build_workload, score_of
+from repro.models import MnistLSTMClassifier
+from repro.optim import Adam, Momentum
+from repro.schedules import ConstantLR
+from repro.train import Trainer
+
+
+class TestTrainingDeterminism:
+    def _train_once(self, seed: int):
+        train, test = make_sequential_mnist(128, 32, rng=0, size=8)
+        model = MnistLSTMClassifier(rng=seed, input_dim=8, transform_dim=8, hidden=8)
+        it = BatchIterator(train, 16, rng=seed + 1)
+        result = Trainer(
+            model.loss, Adam(model, lr=0.005), ConstantLR(0.005), it,
+            eval_fn=lambda: model.evaluate(test),
+        ).run(3)
+        return model.state_dict(), result
+
+    def test_identical_seeds_identical_weights(self):
+        state_a, result_a = self._train_once(7)
+        state_b, result_b = self._train_once(7)
+        for name in state_a:
+            assert np.array_equal(state_a[name], state_b[name]), name
+        assert result_a.final_metrics == result_b.final_metrics
+        assert result_a.log.values("loss") == result_b.log.values("loss")
+
+    def test_different_seeds_different_weights(self):
+        state_a, _ = self._train_once(7)
+        state_b, _ = self._train_once(8)
+        assert any(
+            not np.array_equal(state_a[name], state_b[name])
+            for name in state_a
+        )
+
+
+@pytest.mark.slow
+class TestWorkloadDeterminism:
+    def test_workload_run_is_reproducible(self):
+        wl_a = build_workload("resnet", "smoke")
+        wl_b = build_workload("resnet", "smoke")
+        batch = wl_a.batches[1]
+        score_a = score_of(wl_a.run_legw(batch, seed=3, epochs=2), "top5")
+        score_b = score_of(wl_b.run_legw(batch, seed=3, epochs=2), "top5")
+        assert score_a == score_b
+
+    def test_dataset_rebuild_is_identical(self):
+        a = build_workload("ptb_small", "smoke")
+        b = build_workload("ptb_small", "smoke")
+        # same seeds inside the builder => identical corpora and sources
+        assert np.allclose(a.source.transition, b.source.transition)
+
+    def test_epochs_override_shortens_run(self):
+        wl = build_workload("mnist", "smoke")
+        result = wl.run_legw(wl.batches[-1], seed=0, epochs=2)
+        assert result.epochs_completed == 2

@@ -1,0 +1,102 @@
+"""Extension schedules: cosine/linear decay and grow-batch."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedules import (
+    CosineDecay,
+    GradualWarmup,
+    GrowBatchSchedule,
+    LinearDecay,
+)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        s = CosineDecay(2.0, total_iterations=100, min_lr=0.2)
+        assert s(0) == pytest.approx(2.0)
+        assert s(100) == pytest.approx(0.2)
+        assert s(10_000) == pytest.approx(0.2)
+
+    def test_midpoint(self):
+        s = CosineDecay(1.0, 100)
+        assert s(50) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        s = CosineDecay(1.0, 64)
+        series = s.series(64)
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_composes_with_warmup(self):
+        s = GradualWarmup(CosineDecay(1.0, 100), 10)
+        assert s(0) < s(9) <= 1.0
+        assert s(50) == pytest.approx(CosineDecay(1.0, 100)(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(1.0, 0)
+        with pytest.raises(ValueError):
+            CosineDecay(1.0, 10, min_lr=2.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.01, 5.0), st.integers(2, 500), st.integers(0, 600))
+    def test_bounded(self, base, total, i):
+        s = CosineDecay(base, total)
+        assert 0.0 <= s(i) <= base + 1e-12
+
+
+class TestLinearDecay:
+    def test_line(self):
+        s = LinearDecay(1.0, 10, min_lr=0.0)
+        for i in range(11):
+            assert s(i) == pytest.approx(1.0 - i / 10)
+
+    def test_clamps(self):
+        assert LinearDecay(1.0, 10)(99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecay(1.0, 0)
+
+
+class TestGrowBatchSchedule:
+    def test_milestone_growth(self):
+        s = GrowBatchSchedule(32, [10, 20], factor=2.0)
+        assert s.batch_at(0) == 32
+        assert s.batch_at(9) == 32
+        assert s.batch_at(10) == 64
+        assert s.batch_at(20) == 128
+
+    def test_cap(self):
+        s = GrowBatchSchedule(32, [1, 2, 3], factor=4.0, max_batch=100)
+        assert s.batch_at(3) == 100
+
+    def test_ladder(self):
+        s = GrowBatchSchedule(8, [2], factor=2.0)
+        assert s.ladder(4) == [8, 8, 16, 16]
+
+    def test_mirrors_multistep_decay_ratios(self):
+        """Growing batch by 1/gamma at the decay milestones is the Smith
+        et al. recipe: the batch ratio ladder must equal the inverse of a
+        gamma-decay LR ladder."""
+        gamma = 0.5
+        grow = GrowBatchSchedule(16, [30, 60, 80], factor=1 / gamma)
+        for epoch in (0, 30, 60, 85):
+            passed = sum(1 for m in [30, 60, 80] if epoch >= m)
+            assert grow.batch_at(epoch) == pytest.approx(16 * (1 / gamma) ** passed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GrowBatchSchedule(0, [1])
+        with pytest.raises(ValueError):
+            GrowBatchSchedule(8, [1], factor=1.0)
+        with pytest.raises(ValueError):
+            GrowBatchSchedule(8, [5, 1])
+
+    def test_repr(self):
+        assert "x2" in repr(GrowBatchSchedule(8, [1], factor=2.0))

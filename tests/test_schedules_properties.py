@@ -1,0 +1,98 @@
+"""Hypothesis property tests for LEGW and the schedule library."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.schedules import (
+    GradualWarmup,
+    ConstantLR,
+    LEGW,
+    PolynomialDecay,
+    legw_peak_lr,
+    legw_warmup_epochs,
+    sqrt_scaled_lr,
+)
+
+lr_strategy = st.floats(1e-4, 10.0, allow_nan=False)
+batch_strategy = st.integers(1, 1 << 16)
+k_strategy = st.integers(1, 64)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lr_strategy, batch_strategy, k_strategy)
+def test_legw_peak_lr_sqrt_law(base_lr, base_batch, k):
+    """Scaling the batch by k scales LEGW's peak LR by exactly sqrt(k)."""
+    assert legw_peak_lr(base_lr, base_batch, base_batch * k) == (
+        np.float64(base_lr) * math.sqrt(k)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(0.01, 10.0), batch_strategy, k_strategy, k_strategy)
+def test_legw_warmup_epochs_composes_multiplicatively(wu, base, k1, k2):
+    """Scaling by k1 then k2 equals scaling by k1*k2 (the rule is a
+    group action on batch ratios)."""
+    once = legw_warmup_epochs(wu, base, base * k1 * k2)
+    twice = legw_warmup_epochs(
+        legw_warmup_epochs(wu, base, base * k1), base * k1, base * k1 * k2
+    )
+    assert np.isclose(once, twice)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(0.05, 2.0),
+    st.integers(1, 64),
+    st.integers(1, 6),
+    st.integers(100, 100_000),
+)
+def test_legw_warmup_iterations_scale_invariant(wu, base_batch, log_k, n):
+    """With steps_per_epoch = ceil(n / batch) on an exactly divisible
+    dataset, warmup iterations are invariant to the batch ratio."""
+    k = 2**log_k
+    n = n - (n % (base_batch * k)) + base_batch * k  # make divisible
+    s_base = LEGW(0.1, base_batch, wu, base_batch, n // base_batch)
+    s_big = LEGW(0.1, base_batch, wu, base_batch * k, n // (base_batch * k))
+    assert abs(s_base.warmup_iterations - s_big.warmup_iterations) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0.01, 5.0), st.integers(1, 500), st.integers(0, 1000))
+def test_warmup_never_exceeds_inner_peak(peak, warmup_iters, i):
+    s = GradualWarmup(ConstantLR(peak), warmup_iters)
+    assert s(i) <= peak * (1 + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0.01, 5.0), st.integers(2, 1000), st.floats(0.5, 4.0))
+def test_poly_decay_bounded_and_monotone(base, total, power):
+    s = PolynomialDecay(base, total, power)
+    prev = s(0)
+    assert prev == base
+    for i in range(1, min(total + 10, 60)):
+        cur = s(i)
+        assert 0.0 <= cur <= prev + 1e-15
+        prev = cur
+
+
+@settings(max_examples=60, deadline=None)
+@given(lr_strategy, batch_strategy, k_strategy)
+def test_sqrt_scaling_bounded_by_linear(base_lr, base_batch, k):
+    """sqrt-scaled LR never exceeds linearly-scaled LR (k >= 1)."""
+    batch = base_batch * k
+    assert sqrt_scaled_lr(base_lr, base_batch, batch) <= base_lr * k + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(0.05, 2.0), st.integers(1, 32), st.integers(1, 32),
+    st.integers(1, 200),
+)
+def test_legw_schedule_is_nonnegative_everywhere(wu, base_batch, k, spe):
+    s = LEGW(0.5, base_batch, wu, base_batch * k, spe)
+    for i in range(0, spe * 3, max(1, spe // 3)):
+        assert s(i) >= 0.0

@@ -1,0 +1,103 @@
+"""Later-added tensor ops: min, argmax, squeeze, expand_dims, split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, gradcheck
+
+
+def t(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestMin:
+    def test_matches_numpy(self, rng):
+        a = t(rng, 4, 5)
+        assert np.allclose(a.min().data, a.data.min())
+        assert np.allclose(a.min(axis=1).data, a.data.min(axis=1))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_gradcheck(self, rng, axis):
+        vals = rng.permutation(20).reshape(4, 5).astype(float)
+        a = Tensor(vals, requires_grad=True)
+        assert gradcheck(lambda a: a.min(axis=axis).sum(), [a])
+
+    def test_tie_splits_gradient(self):
+        a = Tensor([[2.0, 1.0, 1.0]], requires_grad=True)
+        a.min().backward()
+        assert np.allclose(a.grad, [[0.0, 0.5, 0.5]])
+
+    def test_keepdims(self, rng):
+        a = t(rng, 3, 4)
+        assert a.min(axis=0, keepdims=True).shape == (1, 4)
+
+
+class TestArgmax:
+    def test_matches_numpy(self, rng):
+        a = t(rng, 5, 3)
+        assert np.array_equal(a.argmax(axis=1), a.data.argmax(axis=1))
+        assert a.argmax() == a.data.argmax()
+
+
+class TestSqueezeExpand:
+    def test_squeeze_shape(self, rng):
+        a = t(rng, 3, 1, 4)
+        assert a.squeeze(1).shape == (3, 4)
+
+    def test_squeeze_gradcheck(self, rng):
+        a = t(rng, 3, 1, 4)
+        assert gradcheck(lambda a: (a.squeeze(1) ** 2).sum(), [a])
+
+    def test_squeeze_rejects_wide_axis(self, rng):
+        with pytest.raises(ValueError):
+            t(rng, 3, 2).squeeze(1)
+
+    def test_expand_dims_shape(self, rng):
+        a = t(rng, 3, 4)
+        assert a.expand_dims(1).shape == (3, 1, 4)
+        assert a.expand_dims(0).shape == (1, 3, 4)
+
+    def test_expand_dims_gradcheck(self, rng):
+        a = t(rng, 3, 4)
+        assert gradcheck(lambda a: (a.expand_dims(2) ** 2).sum(), [a])
+
+    def test_roundtrip(self, rng):
+        a = t(rng, 3, 4)
+        assert np.allclose(a.expand_dims(1).squeeze(1).data, a.data)
+
+
+class TestSplit:
+    def test_parts_cover_tensor(self, rng):
+        a = t(rng, 6, 3)
+        parts = a.split(3, axis=0)
+        assert len(parts) == 3
+        assert np.allclose(
+            np.concatenate([p.data for p in parts]), a.data
+        )
+
+    def test_axis1(self, rng):
+        a = t(rng, 2, 8)
+        parts = a.split(4, axis=1)
+        assert all(p.shape == (2, 2) for p in parts)
+
+    def test_gradients_route_to_slices(self, rng):
+        a = t(rng, 4, 2)
+        top, bottom = a.split(2, axis=0)
+        (top * 2).sum().backward()
+        assert np.allclose(a.grad[:2], 2.0)
+        assert np.allclose(a.grad[2:], 0.0)
+
+    def test_gradcheck_through_split_and_concat(self, rng):
+        a = t(rng, 4, 4)
+
+        def f(a):
+            lo, hi = a.split(2, axis=1)
+            return (concat([hi, lo], axis=1) ** 2).sum() + (lo * hi).sum()
+
+        assert gradcheck(f, [a])
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            t(rng, 5, 2).split(2, axis=0)

@@ -1,0 +1,376 @@
+"""Gradcheck and semantics for every primitive op in repro.tensor.tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    gradcheck,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+    zeros,
+    ones,
+    full,
+    randn,
+    uniform,
+    arange,
+)
+
+
+def t(rng, *shape, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_gradcheck(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 3, 4)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_gradcheck(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_scalar_broadcast(self, rng):
+        a = t(rng, 2, 3)
+        out = a + 5.0
+        assert np.allclose(out.data, a.data + 5.0)
+
+    def test_sub_gradcheck(self, rng):
+        a, b = t(rng, 2, 5), t(rng, 1, 5)
+        assert gradcheck(lambda a, b: (a - b).sum(), [a, b])
+
+    def test_rsub(self, rng):
+        a = t(rng, 3)
+        out = 1.0 - a
+        assert np.allclose(out.data, 1.0 - a.data)
+        assert gradcheck(lambda a: (2.0 - a).sum(), [a])
+
+    def test_mul_gradcheck(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 3, 1)
+        assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a, b = t(rng, 3, 3), Tensor(
+            rng.uniform(1.0, 2.0, (3, 3)), requires_grad=True
+        )
+        assert gradcheck(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rdiv(self, rng):
+        b = Tensor(rng.uniform(1.0, 2.0, (4,)), requires_grad=True)
+        assert gradcheck(lambda b: (1.0 / b).sum(), [b])
+
+    def test_neg(self, rng):
+        a = t(rng, 4)
+        assert np.allclose((-a).data, -a.data)
+        assert gradcheck(lambda a: (-a).sum(), [a])
+
+    def test_pow_gradcheck(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3, 2)), requires_grad=True)
+        assert gradcheck(lambda a: (a**3).sum(), [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a, b = t(rng, 2), t(rng, 2)
+        with pytest.raises(TypeError):
+            a**b
+
+
+class TestMatmul:
+    def test_2d_gradcheck(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4, 2)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched_gradcheck(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 2, 4, 5)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched_broadcast_gradcheck(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 4, 5)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_vec_vec(self, rng):
+        a, b = t(rng, 5), t(rng, 5)
+        out = a @ b
+        assert out.shape == ()
+        assert gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_mat_vec_gradcheck(self, rng):
+        a, b = t(rng, 3, 5), t(rng, 5)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_vec_mat_gradcheck(self, rng):
+        a, b = t(rng, 5), t(rng, 5, 3)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_vec_batched_mat_gradcheck(self, rng):
+        a, b = t(rng, 5), t(rng, 2, 5, 3)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched_mat_vec_gradcheck(self, rng):
+        a, b = t(rng, 2, 3, 5), t(rng, 5)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matches_numpy(self, rng):
+        a, b = t(rng, 4, 6), t(rng, 6, 3)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt", "log"]
+    )
+    def test_gradcheck(self, rng, name):
+        if name in ("sqrt", "log"):
+            a = Tensor(rng.uniform(0.5, 3.0, (3, 4)), requires_grad=True)
+        else:
+            a = t(rng, 3, 4)
+        assert gradcheck(lambda a: getattr(a, name)().sum(), [a], atol=1e-5)
+
+    def test_sigmoid_matches_logistic(self, rng):
+        a = t(rng, 100, scale=5.0)
+        expected = 1.0 / (1.0 + np.exp(-a.data))
+        assert np.allclose(a.sigmoid().data, expected)
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        out = a.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_relu_zeroes_negatives(self, rng):
+        a = t(rng, 50)
+        out = a.relu().data
+        assert np.all(out[a.data <= 0] == 0)
+        assert np.allclose(out[a.data > 0], a.data[a.data > 0])
+
+    def test_clip_gradcheck_interior(self, rng):
+        a = Tensor(rng.uniform(-0.4, 0.4, (4, 4)), requires_grad=True)
+        assert gradcheck(lambda a: a.clip(-0.5, 0.5).sum(), [a])
+
+    def test_clip_blocks_gradient_outside(self):
+        a = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1), -1])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_sum_gradcheck(self, rng, axis, keepdims):
+        a = t(rng, 3, 4)
+        assert gradcheck(
+            lambda a: (a.sum(axis=axis, keepdims=keepdims) ** 2).sum(), [a]
+        )
+
+    @pytest.mark.parametrize("axis", [None, 0, (1, 2)])
+    def test_mean_gradcheck(self, rng, axis):
+        a = t(rng, 2, 3, 4)
+        assert gradcheck(lambda a: (a.mean(axis=axis) ** 2).sum(), [a])
+
+    def test_mean_matches_numpy(self, rng):
+        a = t(rng, 5, 7)
+        assert np.allclose(a.mean(axis=1).data, a.data.mean(axis=1))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_max_gradcheck(self, rng, axis):
+        # distinct values avoid tie subgradients that break finite diffs
+        vals = rng.permutation(20).reshape(4, 5).astype(float)
+        a = Tensor(vals, requires_grad=True)
+        assert gradcheck(lambda a: a.max(axis=axis).sum(), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor([[1.0, 1.0, 0.0]], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_var_matches_numpy(self, rng):
+        a = t(rng, 6, 3)
+        assert np.allclose(a.var(axis=0).data, a.data.var(axis=0))
+
+    def test_var_gradcheck(self, rng):
+        a = t(rng, 4, 3)
+        assert gradcheck(lambda a: a.var().sum(), [a])
+
+    def test_norm(self, rng):
+        a = t(rng, 3, 4)
+        assert a.norm().item() == pytest.approx(np.linalg.norm(a.data))
+        assert gradcheck(lambda a: a.norm(), [a], atol=1e-5)
+
+
+class TestShapeOps:
+    def test_reshape_gradcheck(self, rng):
+        a = t(rng, 3, 4)
+        assert gradcheck(lambda a: (a.reshape(2, 6) ** 2).sum(), [a])
+
+    def test_reshape_tuple_arg(self, rng):
+        a = t(rng, 6)
+        assert a.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default_reverses(self, rng):
+        a = t(rng, 2, 3, 4)
+        assert a.T.shape == (4, 3, 2)
+
+    def test_transpose_gradcheck(self, rng):
+        a = t(rng, 2, 3, 4)
+        assert gradcheck(lambda a: (a.transpose((1, 0, 2)) ** 2).sum(), [a])
+
+    def test_swapaxes_gradcheck(self, rng):
+        a = t(rng, 2, 3, 4)
+        assert gradcheck(lambda a: (a.swapaxes(0, 2) ** 2).sum(), [a])
+
+    def test_getitem_int_gradcheck(self, rng):
+        a = t(rng, 5, 3)
+        assert gradcheck(lambda a: (a[2] ** 2).sum(), [a])
+
+    def test_getitem_slice_gradcheck(self, rng):
+        a = t(rng, 5, 6)
+        assert gradcheck(lambda a: (a[:, 2:5] ** 2).sum(), [a])
+
+    def test_getitem_array_accumulates(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_pad2d_gradcheck(self, rng):
+        a = t(rng, 1, 2, 3, 3)
+        assert gradcheck(lambda a: (a.pad2d(1) ** 2).sum(), [a])
+
+    def test_pad2d_zero_noop(self, rng):
+        a = t(rng, 1, 1, 2, 2)
+        assert a.pad2d(0) is a
+
+    def test_concat_gradcheck(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 2, 2)
+        assert gradcheck(
+            lambda a, b: (concat([a, b], axis=1) ** 2).sum(), [a, b]
+        )
+
+    def test_stack_gradcheck(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 2, 3)
+        assert gradcheck(lambda a, b: (stack([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_new_axis(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 2, 3)
+        assert stack([a, b], axis=1).shape == (2, 2, 3)
+
+
+class TestSelectOps:
+    def test_where_gradcheck(self, rng):
+        cond = rng.random((3, 4)) > 0.5
+        a, b = t(rng, 3, 4), t(rng, 3, 4)
+        assert gradcheck(lambda a, b: where(cond, a, b).sum(), [a, b])
+
+    def test_maximum_semantics(self, rng):
+        a, b = t(rng, 10), t(rng, 10)
+        assert np.allclose(maximum(a, b).data, np.maximum(a.data, b.data))
+
+    def test_maximum_gradcheck(self, rng):
+        a, b = t(rng, 5), t(rng, 5)
+        assert gradcheck(lambda a, b: maximum(a, b).sum(), [a, b])
+
+    def test_minimum_gradcheck(self, rng):
+        a, b = t(rng, 5), t(rng, 5)
+        assert gradcheck(lambda a, b: minimum(a, b).sum(), [a, b])
+
+
+class TestBackwardMachinery:
+    def test_grad_accumulates_on_reuse(self, rng):
+        a = t(rng, 3)
+        (a * a + a * a).sum().backward()
+        assert np.allclose(a.grad, 4 * a.data)
+
+    def test_repeated_backward_accumulates_into_grad(self, rng):
+        a = t(rng, 3)
+        a.sum().backward()
+        first = a.grad.copy()
+        a.sum().backward()
+        assert np.allclose(a.grad, 2 * first)
+
+    def test_backward_requires_scalar_without_grad(self, rng):
+        a = t(rng, 3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_explicit_grad_shape_checked(self, rng):
+        a = t(rng, 3)
+        out = a * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_blocks_graph(self, rng):
+        a = t(rng, 3)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+
+    def test_no_grad_restores_on_exception(self, rng):
+        from repro.tensor import is_grad_enabled
+
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_detach_breaks_graph(self, rng):
+        a = t(rng, 3)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+
+    def test_diamond_graph_gradient(self, rng):
+        a = t(rng, 4)
+        b = a * 2
+        (b * b + b).sum().backward()
+        # d/da (4a^2 + 2a) = 8a + 2
+        assert np.allclose(a.grad, 8 * a.data + 2)
+
+    def test_zero_grad(self, rng):
+        a = t(rng, 3)
+        a.sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self):
+        assert np.all(zeros(2, 3).data == 0)
+        assert np.all(ones(4).data == 1)
+        assert np.all(full((2, 2), 7.5).data == 7.5)
+
+    def test_randn_deterministic(self):
+        a = randn(5, rng=3)
+        b = randn(5, rng=3)
+        assert np.allclose(a.data, b.data)
+
+    def test_uniform_bounds(self):
+        a = uniform(1000, rng=0, low=-2.0, high=3.0)
+        assert a.data.min() >= -2.0 and a.data.max() <= 3.0
+
+    def test_arange(self):
+        assert np.allclose(arange(4).data, [0, 1, 2, 3])
+
+    def test_as_tensor_idempotent(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len_and_size(self, rng):
+        a = t(rng, 4, 5)
+        assert len(a) == 4 and a.size == 20 and a.ndim == 2

@@ -1,0 +1,119 @@
+"""Hypothesis property tests for the autograd engine.
+
+Broadcasting gradients are the classic hand-rolled-engine bug farm, so the
+shapes here are drawn adversarially: any pair of broadcast-compatible
+shapes must produce gradients that match finite differences, and
+``unbroadcast`` must be the exact adjoint of ``np.broadcast_to``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, gradcheck
+from repro.tensor.tensor import unbroadcast
+
+# shapes up to 3 dims, dims up to 4 — small enough for fast finite diffs
+dims = st.integers(min_value=1, max_value=4)
+shapes = st.lists(dims, min_size=0, max_size=3).map(tuple)
+
+
+def broadcast_pair():
+    """Strategy for (shape_a, shape_b) that broadcast together."""
+
+    @st.composite
+    def _pair(draw):
+        out = draw(st.lists(dims, min_size=1, max_size=3).map(tuple))
+
+        def reduce_shape(shape):
+            n_drop = draw(st.integers(0, len(shape)))
+            kept = shape[n_drop:]
+            return tuple(
+                d if not draw(st.booleans()) else 1 for d in kept
+            )
+
+        return out, reduce_shape(out), reduce_shape(out)
+
+    return _pair()
+
+
+@settings(max_examples=40, deadline=None)
+@given(broadcast_pair(), st.integers(0, 2**31 - 1))
+def test_broadcast_add_mul_grads(shapes3, seed):
+    _, sa, sb = shapes3
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal(sa), requires_grad=True)
+    b = Tensor(rng.standard_normal(sb), requires_grad=True)
+    assert gradcheck(lambda a, b: ((a + b) * (a * b)).sum(), [a, b])
+
+
+@settings(max_examples=40, deadline=None)
+@given(shapes, st.integers(0, 2**31 - 1))
+def test_unbroadcast_is_adjoint_of_broadcast(shape, seed):
+    """<broadcast(x), g> == <x, unbroadcast(g)> for every broadcast."""
+    rng = np.random.default_rng(seed)
+    out_shape = (2, 3) + shape  # prepend axes: a strict broadcast
+    x = rng.standard_normal(shape) if shape else np.float64(rng.standard_normal())
+    x = np.asarray(x)
+    g = rng.standard_normal(out_shape)
+    lhs = float((np.broadcast_to(x, out_shape) * g).sum())
+    rhs = float((x * unbroadcast(g, x.shape)).sum())
+    assert np.isclose(lhs, rhs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+    st.integers(0, 2**31 - 1),
+)
+def test_matmul_grad_any_shape(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((m, k)), requires_grad=True)
+    b = Tensor(rng.standard_normal((k, n)), requires_grad=True)
+    assert gradcheck(lambda a, b: ((a @ b) ** 2).sum(), [a, b], atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=20))
+def test_sum_equals_numpy(values):
+    t = Tensor(values)
+    assert np.isclose(t.sum().item(), np.sum(np.asarray(values)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-5, 5), min_size=2, max_size=20), st.integers(0, 100))
+def test_backward_is_linear_in_seed_gradient(values, scale):
+    """backward(c * g) must produce c * backward(g) — vjps are linear."""
+    a = Tensor(values, requires_grad=True)
+    out = (a * a).sum()
+    out.backward()
+    base = a.grad.copy()
+    a.zero_grad()
+    out2 = (a * a).sum()
+    out2.backward(np.float64(scale))
+    assert np.allclose(a.grad, scale * base)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31 - 1)
+)
+def test_reduction_axes_consistency(rows, cols, seed):
+    """Summing axis 0 then axis 0 again equals a full sum."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((rows, cols)), requires_grad=True)
+    partial = a.sum(axis=0).sum()
+    total = a.sum()
+    assert np.isclose(partial.item(), total.item())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+def test_tanh_bounded_and_odd(n, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal(n) * 3)
+    out = a.tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+    neg = Tensor(-a.data).tanh().data
+    assert np.allclose(out, -neg)
