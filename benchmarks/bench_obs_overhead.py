@@ -1,0 +1,59 @@
+"""Observability overhead bench — enabled tracing must stay cheap.
+
+The `repro.obs` contract is two-sided: disabled instrumentation is free
+(the trainer's disabled path is the seed code path), and *enabled*
+span tracing + metrics must cost < 10% wall-clock on a real training
+run — spans wrap whole phases (forward/backward/clip/step), so their
+cost amortizes over thousands of NumPy flops per iteration.
+
+Measured on a smoke MNIST-LSTM run; min-of-3 on both sides to shed
+scheduler noise.  The op profiler is deliberately excluded: it hooks
+every primitive op and is priced separately (it is a diagnosis tool,
+not an always-on telemetry path).
+"""
+
+import time
+
+from conftest import save_result
+
+from repro.experiments import build_workload
+from repro.obs import Obs
+
+BATCH = 64
+EPOCHS = 3
+ROUNDS = 3
+
+
+def test_obs_overhead(benchmark):
+    wl = build_workload("mnist", "smoke")
+    schedule = wl.legw_schedule(BATCH, EPOCHS)
+
+    def run_once(obs) -> float:
+        t0 = time.perf_counter()
+        result = wl.run(BATCH, schedule, seed=0, epochs=EPOCHS, obs=obs)
+        assert not result.diverged
+        return time.perf_counter() - t0
+
+    def measure():
+        run_once(None)  # warm caches before timing anything
+        baseline_times, traced_times = [], []
+        for _ in range(ROUNDS):  # interleave to share any machine drift
+            baseline_times.append(run_once(None))
+            obs = Obs(trace=True, metrics=True)
+            with obs.activate():
+                traced_times.append(run_once(obs))
+        return min(baseline_times), min(traced_times)
+
+    baseline, traced = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = traced / baseline - 1.0
+    save_result(
+        "obs_overhead",
+        (
+            f"obs overhead (mnist smoke, batch {BATCH}, {EPOCHS} epochs, "
+            f"min of {ROUNDS})\n"
+            f"  baseline : {baseline * 1e3:8.1f} ms\n"
+            f"  traced   : {traced * 1e3:8.1f} ms  (spans + metrics)\n"
+            f"  overhead : {overhead * 100:+8.2f}%"
+        ),
+    )
+    assert overhead < 0.10, f"tracing overhead {overhead:.1%} exceeds 10%"

@@ -14,6 +14,8 @@ Public surface
 * ``repro.train``       — trainer, metrics (accuracy/perplexity/BLEU), tuner
 * ``repro.parallel``    — simulated data-parallel cluster + cost models
 * ``repro.analysis``    — local-Lipschitz diagnostics (Figure 3)
+* ``repro.obs``         — observability: span tracing, structured
+                          metrics, op-level engine profiling
 * ``repro.experiments`` — one driver per table/figure of the paper
 
 Quickstart
@@ -35,6 +37,7 @@ from repro import (
     data,
     models,
     nn,
+    obs,
     optim,
     parallel,
     schedules,
@@ -51,6 +54,7 @@ __all__ = [
     "data",
     "models",
     "nn",
+    "obs",
     "optim",
     "parallel",
     "schedules",

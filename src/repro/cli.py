@@ -9,6 +9,14 @@ cover the repository's day-one uses:
   chart with ``--chart``);
 * ``train <workload>`` — train one application at a chosen batch size
   under a chosen schedule and print the final metric.
+
+Both ``experiment`` and ``train`` accept the observability flags:
+``--trace-out FILE`` (span tracing; writes Chrome ``trace_event`` JSON
+and prints an ASCII flame summary), ``--metrics-out FILE`` (structured
+counters/gauges/histograms as JSONL — per-layer trust ratios, grad
+norms, all-reduce traffic) and ``--profile`` (op-level engine profile,
+forward and backward separately).  All three default to off, which keeps
+the run on the exact uninstrumented code path.
 """
 
 from __future__ import annotations
@@ -20,10 +28,51 @@ from typing import Sequence
 
 from repro.experiments import build_workload, run_experiment, score_of
 from repro.experiments.registry import EXPERIMENTS
+from repro.obs import Obs
 from repro.utils.ascii_plot import line_chart
 
 WORKLOADS = ("mnist", "ptb_small", "ptb_large", "gnmt", "resnet")
 SCHEDULE_KINDS = ("legw", "linear", "sqrt", "none")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="trace spans and write Chrome trace_event JSON to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect structured metrics and write a JSONL snapshot to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile tensor-engine ops and print the top-N table",
+    )
+
+
+def _build_obs(args: argparse.Namespace) -> Obs | None:
+    """An :class:`Obs` for the requested flags, or ``None`` when all off."""
+    obs = Obs(
+        trace=args.trace_out is not None,
+        metrics=args.metrics_out is not None,
+        profile=args.profile,
+    )
+    return obs if obs.enabled else None
+
+
+def _emit_obs(obs: Obs, args: argparse.Namespace) -> None:
+    """Print/write whatever the enabled instruments collected."""
+    if obs.profiler is not None:
+        print()
+        print(obs.profiler.table())
+    if obs.tracer is not None:
+        print()
+        print(obs.tracer.flame_summary())
+        obs.tracer.save_chrome_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out}")
+    if obs.metrics is not None:
+        obs.metrics.save(args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,17 +99,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the driver's raw result dict as JSON",
     )
+    _add_obs_flags(exp)
 
     tr = sub.add_parser("train", help="train one workload once")
     tr.add_argument("workload", choices=WORKLOADS)
     tr.add_argument("--preset", default="smoke", choices=("smoke", "small"))
-    tr.add_argument("--batch", type=int, default=None,
+    tr.add_argument("--batch", "--batch-size", type=int, default=None,
+                    dest="batch",
                     help="batch size (default: the workload's base batch)")
     tr.add_argument("--schedule", default="legw", choices=SCHEDULE_KINDS,
                     help="legw, or a scaling rule with --warmup-epochs")
     tr.add_argument("--warmup-epochs", type=float, default=0.0)
     tr.add_argument("--epochs", type=int, default=None)
     tr.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(tr)
     return parser
 
 
@@ -84,7 +136,16 @@ def _chartable_series(out: dict):
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    out = run_experiment(args.experiment_id, preset=args.preset, seed=args.seed)
+    obs = _build_obs(args)
+    if obs is None:
+        out = run_experiment(
+            args.experiment_id, preset=args.preset, seed=args.seed
+        )
+    else:
+        with obs.activate(), obs.span(args.experiment_id):
+            out = run_experiment(
+                args.experiment_id, preset=args.preset, seed=args.seed
+            )
     if args.as_json:
         print(json.dumps(_jsonable(out), indent=2))
         return 0
@@ -102,6 +163,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         else:
             print("(no chartable series in this experiment)", file=sys.stderr)
+    if obs is not None:
+        _emit_obs(obs, args)
     return 0
 
 
@@ -117,13 +180,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
             epochs=args.epochs,
         )
         print(f"schedule: {args.schedule} scaling, warmup {args.warmup_epochs} ep")
-    result = wl.run(batch, schedule, seed=args.seed, epochs=args.epochs)
+    obs = _build_obs(args)
+    if obs is None:
+        result = wl.run(batch, schedule, seed=args.seed, epochs=args.epochs)
+    else:
+        with obs.activate():
+            result = wl.run(
+                batch, schedule, seed=args.seed, epochs=args.epochs, obs=obs
+            )
     score = score_of(result, wl.metric)
     status = "DIVERGED" if result.diverged else "ok"
     print(
         f"{args.workload} @ batch {batch} "
         f"(paper {wl.paper_batch(batch)}): {wl.metric} = {score:.4g} [{status}]"
     )
+    if obs is not None:
+        _emit_obs(obs, args)
     return 0 if not result.diverged else 1
 
 

@@ -151,8 +151,13 @@ class Workload:
         solver: str | None = None,
         seed: int = 0,
         epochs: int | None = None,
+        obs=None,
     ) -> TrainResult:
-        """Train one configuration from scratch and evaluate each epoch."""
+        """Train one configuration from scratch and evaluate each epoch.
+
+        ``obs`` is an optional :class:`repro.obs.Obs` handed through to the
+        trainer for span/metric instrumentation.
+        """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
         optimizer = self.make_optimizer(model, solver)
@@ -163,6 +168,7 @@ class Workload:
             train_iter,
             eval_fn=self.make_eval_fn(model),
             grad_clip=self.grad_clip,
+            obs=obs,
         )
         return trainer.run(epochs if epochs is not None else self.epochs)
 

@@ -1,0 +1,124 @@
+"""Observability for the training stack: tracing, metrics, op profiling.
+
+Three independent instruments, each individually switchable:
+
+* :class:`~repro.obs.trace.Tracer` — hierarchical span timing
+  (``with obs.span("backward"): ...``), exported as Chrome ``trace_event``
+  JSON or an ASCII flame summary;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms (grad norms, per-layer LARS/LAMB trust ratios,
+  all-reduce rounds/bytes), exported as JSONL;
+* :class:`~repro.obs.profiler.OpProfiler` — per-op call/time/throughput
+  accounting hooked into the ``repro.tensor`` engine, forward and
+  backward separately.
+
+:class:`Obs` bundles them behind one object that the trainer and CLI
+share.  The cardinal rule is that *disabled* observability is free: an
+``Obs()`` with everything off never allocates per iteration, producers
+guard every call site on a ``None`` check, and the trainer's disabled
+path is byte-identical to the uninstrumented loop.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    GRAD_NORM_BUCKETS,
+    TRUST_RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activated,
+    get_active,
+    set_active,
+)
+from repro.obs.profiler import OpProfiler, OpStat
+from repro.obs.trace import SpanEvent, Tracer
+
+__all__ = [
+    "Obs",
+    "Tracer",
+    "SpanEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OpProfiler",
+    "OpStat",
+    "get_active",
+    "set_active",
+    "activated",
+    "TRUST_RATIO_BUCKETS",
+    "GRAD_NORM_BUCKETS",
+]
+
+
+class Obs:
+    """A bundle of the three instruments, any subset enabled.
+
+    >>> obs = Obs(trace=True, metrics=True)
+    >>> with obs.activate():
+    ...     with obs.span("work"):
+    ...         pass
+    >>> obs.tracer.events[0].name
+    'work'
+    """
+
+    def __init__(
+        self, trace: bool = False, metrics: bool = False, profile: bool = False
+    ) -> None:
+        self.tracer: Tracer | None = Tracer() if trace else None
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics else None
+        )
+        self.profiler: OpProfiler | None = OpProfiler() if profile else None
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.profiler is not None
+        )
+
+    @contextmanager
+    def activate(self):
+        """Install the enabled instruments process-wide for a block.
+
+        Attaches the profiler to the tensor engine and makes the metrics
+        registry the active one; both are restored on exit even when the
+        block raises.
+        """
+        previous = None
+        if self.metrics is not None:
+            previous = set_active(self.metrics)
+        if self.profiler is not None:
+            self.profiler.attach()
+        try:
+            yield self
+        finally:
+            if self.profiler is not None:
+                self.profiler.detach()
+            if self.metrics is not None:
+                set_active(previous)
+
+    @contextmanager
+    def span(self, name: str):
+        """Trace a span (no-op when tracing is off).
+
+        Entering a span also re-marks the profiler so wall-clock spent
+        outside the engine (data loading, bookkeeping) is not billed to
+        the first op inside the span.
+        """
+        if self.profiler is not None and self.profiler.attached:
+            self.profiler.mark()
+        if self.tracer is None:
+            yield self
+            return
+        self.tracer.begin(name)
+        try:
+            yield self
+        finally:
+            self.tracer.end()

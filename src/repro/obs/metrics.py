@@ -1,0 +1,229 @@
+"""Structured run metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a process-wide, insertion-ordered store of
+named instruments.  Producers deep inside the stack (optimizers recording
+per-layer trust ratios, the all-reduce schedules recording rounds/bytes)
+cannot be handed a registry explicitly without threading an argument
+through every constructor, so the module keeps one *active* registry in a
+module global:
+
+* ``get_active()`` returns the active registry or ``None``;
+* producers guard with ``reg = get_active(); if reg is not None: ...`` so
+  the disabled path costs one global read and a ``None`` check — no
+  allocation, no string formatting;
+* :func:`activated` installs a registry for the duration of a ``with``
+  block (the CLI wraps training in it).
+
+Snapshots export as JSONL — one JSON object per instrument — which is what
+``--metrics-out`` writes and what downstream figure tooling ingests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_active",
+    "set_active",
+    "activated",
+    "TRUST_RATIO_BUCKETS",
+    "GRAD_NORM_BUCKETS",
+]
+
+# Shared bucket ladders (upper bounds, ascending; +inf is implicit).
+# Trust ratios are tiny positive numbers (LARS λ ~ 1e-3), grad norms span
+# a huge dynamic range — both get log-spaced ladders.
+TRUST_RATIO_BUCKETS: tuple[float, ...] = tuple(
+    10.0**e for e in range(-6, 3)
+)  # 1e-6 .. 1e2
+GRAD_NORM_BUCKETS: tuple[float, ...] = tuple(
+    10.0**e for e in range(-4, 5)
+)  # 1e-4 .. 1e4
+
+
+class Counter:
+    """Monotonically increasing scalar (events, rounds, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar (current loss, per-layer trust ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-friendly semantics.
+
+    ``buckets`` are ascending upper bounds; a value lands in the first
+    bucket whose upper bound is ``>= value`` (Prometheus ``le`` semantics),
+    and values above the last bound land in the implicit ``+inf`` bucket.
+    Tracks count/sum/min/max alongside the per-bucket counts so snapshots
+    can report a mean without storing observations.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bucket bounds must be strictly ascending")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +inf
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # first index with buckets[i] >= value  ->  le-style bucketing
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def snapshot(self) -> dict:
+        bounds = list(self.buckets) + [math.inf]
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else math.nan,
+            "max": self.vmax if self.count else math.nan,
+            "buckets": [
+                [bound, count] for bound, count in zip(bounds, self.counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Insertion-ordered registry of named instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    for a name fixes its type (and, for histograms, its buckets); later
+    calls return the same object or raise on a type mismatch.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _get(self, name: str, kind: type, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = GRAD_NORM_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self, prefix: str = "") -> list[str]:
+        return [n for n in self._instruments if n.startswith(prefix)]
+
+    def snapshot(self) -> list[dict]:
+        """All instruments as plain dicts, in registration order."""
+        return [inst.snapshot() for inst in self._instruments.values()]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per instrument, newline-delimited."""
+        return "\n".join(json.dumps(s) for s in self.snapshot()) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+
+# --------------------------------------------------------------------------
+# the process-wide active registry
+# --------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def get_active() -> MetricsRegistry | None:
+    """The currently active registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+def set_active(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install ``registry`` as the active one; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+class activated:
+    """``with activated(reg): ...`` — scoped installation, restores prior."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_active(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc: object) -> None:
+        set_active(self._previous)

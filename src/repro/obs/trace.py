@@ -1,0 +1,176 @@
+"""Hierarchical span tracing with Chrome ``trace_event`` export.
+
+``with tracer.span("backward"): ...`` records one timed span; nesting
+builds slash-joined paths (``train/backward``) on a thread-local stack, so
+concurrent worker threads trace independently.  Two consumers:
+
+* :meth:`Tracer.to_chrome_trace` — the ``trace_event`` JSON that
+  ``chrome://tracing`` / Perfetto load directly (``ph: "X"`` complete
+  events, microsecond timestamps);
+* :meth:`Tracer.flame_summary` — an ASCII flame table (total/self time
+  per path, rendered through :class:`repro.utils.tables.Table`) for
+  terminal use.
+
+The manual ``begin``/``end`` pair underlies the context manager and is
+deliberately forgiving: ``end()`` on an empty stack is a no-op and spans
+left open (an exception path that skipped ``end``) are simply excluded
+from the export rather than corrupting it — a tracer must never take the
+training run down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.utils.tables import Table
+
+__all__ = ["SpanEvent", "Tracer"]
+
+
+@dataclass
+class SpanEvent:
+    """One completed span: its full path and wall-clock extent."""
+
+    path: str  # slash-joined, e.g. "train/iteration/backward"
+    name: str  # leaf name, e.g. "backward"
+    start: float  # seconds since the tracer's epoch
+    duration: float  # seconds
+    tid: int
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    @property
+    def parent(self) -> str:
+        head, _, _ = self.path.rpartition("/")
+        return head
+
+
+class Tracer:
+    """Collects :class:`SpanEvent` records via a thread-local span stack."""
+
+    def __init__(self) -> None:
+        self.events: list[SpanEvent] = []
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+
+    # -- span stack --------------------------------------------------------
+
+    def _stack(self) -> list[tuple[str, float]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def open_spans(self) -> int:
+        """Depth of the current thread's span stack (0 when balanced)."""
+        return len(self._stack())
+
+    def begin(self, name: str) -> None:
+        """Open a span; it closes at the matching :meth:`end`."""
+        stack = self._stack()
+        path = f"{stack[-1][0]}/{name}" if stack else name
+        stack.append((path, time.perf_counter()))
+
+    def end(self) -> float | None:
+        """Close the innermost open span, returning its duration.
+
+        Unbalanced calls (no open span) return ``None`` instead of raising.
+        """
+        stack = self._stack()
+        if not stack:
+            return None
+        path, start = stack.pop()
+        now = time.perf_counter()
+        duration = now - start
+        event = SpanEvent(
+            path=path,
+            name=path.rpartition("/")[2],
+            start=start - self._epoch,
+            duration=duration,
+            tid=threading.get_ident(),
+        )
+        with self._lock:
+            self.events.append(event)
+        return duration
+
+    @contextmanager
+    def span(self, name: str):
+        """``with tracer.span("forward"): ...`` — exception-safe begin/end."""
+        self.begin(name)
+        try:
+            yield self
+        finally:
+            self.end()
+
+    # -- aggregation -------------------------------------------------------
+
+    def totals(self) -> dict[str, tuple[int, float]]:
+        """Per-path ``(calls, total_seconds)`` in first-seen order."""
+        agg: dict[str, tuple[int, float]] = {}
+        for ev in self.events:
+            calls, total = agg.get(ev.path, (0, 0.0))
+            agg[ev.path] = (calls + 1, total + ev.duration)
+        return agg
+
+    def self_times(self) -> dict[str, float]:
+        """Per-path exclusive time: total minus direct children's totals."""
+        totals = self.totals()
+        selfs = {path: total for path, (_, total) in totals.items()}
+        for path, (_, total) in totals.items():
+            parent = path.rpartition("/")[0]
+            if parent in selfs:
+                selfs[parent] -= total
+        return selfs
+
+    def flame_summary(self, title: str = "trace flame summary") -> str:
+        """ASCII flame table: one row per span path, children indented."""
+        totals = self.totals()
+        if not totals:
+            return f"{title}: (no spans recorded)"
+        selfs = self.self_times()
+        roots_total = sum(
+            total for path, (_, total) in totals.items() if "/" not in path
+        )
+        table = Table(title, ["span", "calls", "total ms", "self ms", "%"])
+        for path in sorted(totals):
+            calls, total = totals[path]
+            depth = path.count("/")
+            label = "  " * depth + path.rpartition("/")[2]
+            share = 100.0 * total / roots_total if roots_total > 0 else 0.0
+            table.add_row(
+                [label, calls, total * 1e3, max(selfs[path], 0.0) * 1e3, share]
+            )
+        return table.render()
+
+    # -- chrome export -----------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The ``trace_event`` JSON object (``traceEvents`` complete events)."""
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": ev.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": ev.start * 1e6,  # microseconds, per the spec
+                    "dur": ev.duration * 1e6,
+                    "pid": 0,
+                    "tid": ev.tid,
+                    "args": {"path": ev.path},
+                }
+                for ev in sorted(self.events, key=lambda e: e.start)
+            ],
+        }
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)

@@ -7,6 +7,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs.metrics import TRUST_RATIO_BUCKETS, get_active
 from repro.tensor.tensor import Tensor
 
 
@@ -42,6 +43,10 @@ class Optimizer:
         self.weight_decay = float(weight_decay)
         self.state: dict[str, dict[str, np.ndarray]] = {}
         self.iteration = 0
+        # layer-wise solvers (LARS/LAMB) deposit their λ per parameter here
+        # while metrics are active; plain solvers apply no layer-wise
+        # rescaling, i.e. λ = 1
+        self._trust_ratios: dict[str, float] = {}
 
     # -- main entry ---------------------------------------------------------
 
@@ -50,6 +55,7 @@ class Optimizer:
         if lr is not None:
             self.lr = float(lr)
         self.iteration += 1
+        reg = get_active()
         for name, p in self.params:
             if p.grad is None:
                 continue
@@ -57,6 +63,10 @@ class Optimizer:
             if self.weight_decay != 0.0:
                 grad = grad + self.weight_decay * p.data
             p.data -= self._update(name, p, grad)
+            if reg is not None:
+                lam = self._trust_ratios.get(name, 1.0)
+                reg.gauge(f"trust_ratio/{name}").set(lam)
+                reg.histogram("trust_ratio", TRUST_RATIO_BUCKETS).observe(lam)
 
     def zero_grad(self) -> None:
         for _, p in self.params:

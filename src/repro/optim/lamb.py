@@ -65,4 +65,6 @@ class LAMB(Optimizer):
         update = m_hat / (np.sqrt(v_hat) + self.eps)
         if self.decoupled_decay != 0.0:
             update = update + self.decoupled_decay * p.data
-        return self.lr * self.trust_ratio(p, update) * update
+        lam = self.trust_ratio(p, update)
+        self._trust_ratios[name] = lam
+        return self.lr * lam * update

@@ -59,5 +59,6 @@ class LARS(Optimizer):
         st = self._get_state(name, v=np.zeros_like(p.data))
         effective = grad + self.beta * p.data
         lam = self.trust_ratio(p, grad)
+        self._trust_ratios[name] = lam
         st["v"] = self.momentum * st["v"] + self.lr * lam * effective
         return st["v"]

@@ -9,11 +9,29 @@ halving/doubling; gather-to-root + broadcast) rather than calling
 ``np.sum`` directly, so the tests can count rounds and verify the
 schedules, and the ablation bench can relate algorithm structure to the
 cost model's predictions.
+
+When an observability metrics registry is active (see
+:mod:`repro.obs.metrics`), every call records per-algorithm counters:
+``allreduce/<algo>/calls``, ``allreduce/<algo>/rounds`` (sequential
+communication steps of the schedule) and ``allreduce/<algo>/bytes``
+(total float64 payload moved across all workers).  With no registry
+active the accounting is skipped entirely.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.obs.metrics import get_active
+
+
+def _record(algo: str, rounds: int, bytes_moved: float) -> None:
+    reg = get_active()
+    if reg is None:
+        return
+    reg.counter(f"allreduce/{algo}/calls").inc()
+    reg.counter(f"allreduce/{algo}/rounds").inc(rounds)
+    reg.counter(f"allreduce/{algo}/bytes").inc(bytes_moved)
 
 
 def _validate(buffers: list[np.ndarray]) -> tuple[int, int]:
@@ -35,7 +53,11 @@ def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
     """
     p, n = _validate(buffers)
     if p == 1:
+        _record("ring", 0, 0)
         return [buffers[0].copy()]
+    # each of the 2(p-1) rounds circulates every chunk index exactly once,
+    # i.e. n elements of float64 payload per round across the ring
+    _record("ring", 2 * (p - 1), 2 * (p - 1) * n * 8)
     chunks = [np.array_split(b.astype(np.float64).copy(), p) for b in buffers]
     # reduce-scatter: at step s, worker w sends chunk (w - s) to worker w+1
     for step in range(p - 1):
@@ -71,6 +93,13 @@ def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
     pow2 = 1
     while pow2 * 2 <= p:
         pow2 *= 2
+    exchange_rounds = pow2.bit_length() - 1  # log2(pow2)
+    fold_rounds = 2 if p != pow2 else 0  # pre-fold + final broadcast
+    _record(
+        "tree",
+        exchange_rounds + fold_rounds,
+        (exchange_rounds * pow2 * n + 2 * (p - pow2) * n) * 8,
+    )
     # fold excess workers into the first block
     for extra in range(pow2, p):
         work[extra - pow2] = work[extra - pow2] + work[extra]
@@ -90,6 +119,8 @@ def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
 def naive_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
     """Gather-to-root + broadcast — the O(p·n) strawman baseline."""
     p, n = _validate(buffers)
+    # one gather round and one broadcast round, each moving (p-1)·n values
+    _record("naive", 2 if p > 1 else 0, 2 * (p - 1) * n * 8)
     root = buffers[0].astype(np.float64).copy()
     for b in buffers[1:]:
         root = root + b

@@ -10,6 +10,13 @@ paper's experimental protocol:
   — the comprehensive-tuning figures *need* diverged runs as data points,
 * per-iteration loss/lr and per-epoch eval metrics land in a
   :class:`~repro.utils.log.RunLog` for the figure drivers.
+
+Observability: pass an :class:`repro.obs.Obs` to get span timing around
+forward/backward/clip/step (plus eval) and structured metrics (loss, lr,
+grad-norm histogram) without touching the protocol.  With ``obs=None``
+the loop is the uninstrumented seed path — the guards are plain ``None``
+checks hoisted out of the hot spots, and no span or metric object is
+allocated per iteration.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.obs import Obs
+from repro.obs.metrics import GRAD_NORM_BUCKETS
 from repro.optim.base import Optimizer
 from repro.optim.clip import clip_grad_norm
 from repro.schedules.base import Schedule
@@ -38,6 +47,21 @@ class TrainResult:
 
     def metric(self, name: str, default: float | None = None) -> float | None:
         return self.final_metrics.get(name, default)
+
+
+def _record_point(
+    log: RunLog, step: int, loss_val: float, lr: float, norm: float | None
+) -> None:
+    """Record one synchronized (loss, lr[, grad_norm]) sample.
+
+    All series that exist are appended together so they can never
+    desynchronize — divergence points and the final-iteration flush go
+    through here exactly like the periodic ``log_every`` samples.
+    """
+    log.record("loss", step, loss_val)
+    log.record("lr", step, lr)
+    if norm is not None:
+        log.record("grad_norm", step, norm)
 
 
 class Trainer:
@@ -65,6 +89,10 @@ class Trainer:
         Optional list of :class:`repro.train.callbacks.Callback` hooks;
         a callback returning ``True`` from ``on_epoch_end`` stops training
         (``result.stopped_early`` is set — distinct from divergence).
+    obs:
+        Optional :class:`repro.obs.Obs`; enabled instruments receive
+        phase spans and per-iteration metrics.  ``None`` (the default)
+        keeps the loop on the uninstrumented seed path.
     """
 
     def __init__(
@@ -76,6 +104,7 @@ class Trainer:
         eval_fn: Callable[[], dict[str, float]] | None = None,
         grad_clip: float | None = None,
         callbacks: list | None = None,
+        obs: Obs | None = None,
     ) -> None:
         self.loss_fn = loss_fn
         self.optimizer = optimizer
@@ -84,44 +113,90 @@ class Trainer:
         self.eval_fn = eval_fn
         self.grad_clip = grad_clip
         self.callbacks = list(callbacks or [])
+        self.obs = obs
 
     def run(self, epochs: int, log_every: int = 1) -> TrainResult:
+        obs = self.obs
+        if obs is not None and obs.tracer is not None:
+            with obs.span("train"):
+                return self._run(epochs, log_every)
+        return self._run(epochs, log_every)
+
+    def _run(self, epochs: int, log_every: int) -> TrainResult:
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        mreg = obs.metrics if obs is not None else None
         log = RunLog()
         result = TrainResult(log=log)
         iteration = 0
+        last_logged = -1
+        loss_val: float = math.nan
+        lr: float = math.nan
+        norm: float | None = None
+
+        def flush_last_point() -> None:
+            # the final iteration's sample must land in the log even when
+            # log_every skipped it, or figure series end one point short
+            if iteration > 0 and last_logged != iteration - 1:
+                _record_point(log, iteration - 1, loss_val, lr, norm)
+
         for epoch in range(epochs):
             for batch in self.train_iter:
                 lr = self.schedule(iteration)
                 self.optimizer.zero_grad()
-                loss = self.loss_fn(batch)
+                if tracer is None:
+                    loss = self.loss_fn(batch)
+                else:
+                    with obs.span("forward"):
+                        loss = self.loss_fn(batch)
                 loss_val = float(loss.data)
                 if not math.isfinite(loss_val):
                     result.diverged = True
-                    log.record("loss", iteration, loss_val)
+                    _record_point(log, iteration, loss_val, lr, None)
                     result.epochs_completed = epoch
                     result.final_metrics["diverged"] = 1.0
                     return result
-                loss.backward()
-                norm = (
-                    clip_grad_norm(
-                        [p for _, p in self.optimizer.params], self.grad_clip
-                    )
-                    if self.grad_clip is not None
-                    else None
-                )
-                self.optimizer.step(lr=lr)
-                if iteration % log_every == 0:
-                    log.record("loss", iteration, loss_val)
-                    log.record("lr", iteration, lr)
+                if tracer is None:
+                    loss.backward()
+                else:
+                    with obs.span("backward"):
+                        loss.backward()
+                if self.grad_clip is not None:
+                    params = [p for _, p in self.optimizer.params]
+                    if tracer is None:
+                        norm = clip_grad_norm(params, self.grad_clip)
+                    else:
+                        with obs.span("clip"):
+                            norm = clip_grad_norm(params, self.grad_clip)
+                else:
+                    norm = None
+                if tracer is None:
+                    self.optimizer.step(lr=lr)
+                else:
+                    with obs.span("step"):
+                        self.optimizer.step(lr=lr)
+                if mreg is not None:
+                    mreg.counter("train/iterations").inc()
+                    mreg.gauge("train/loss").set(loss_val)
+                    mreg.gauge("train/lr").set(lr)
                     if norm is not None:
-                        log.record("grad_norm", iteration, norm)
+                        mreg.histogram(
+                            "train/grad_norm", GRAD_NORM_BUCKETS
+                        ).observe(norm)
+                if iteration % log_every == 0:
+                    _record_point(log, iteration, loss_val, lr, norm)
+                    last_logged = iteration
                 for callback in self.callbacks:
                     callback.on_iteration(iteration, loss_val, lr)
                 iteration += 1
             result.epochs_completed = epoch + 1
             metrics: dict[str, float] = {}
             if self.eval_fn is not None:
-                metrics = self.eval_fn()
+                if tracer is None:
+                    metrics = self.eval_fn()
+                else:
+                    with obs.span("eval"):
+                        metrics = self.eval_fn()
                 for name, value in metrics.items():
                     if not math.isfinite(value):
                         result.diverged = True
@@ -129,6 +204,7 @@ class Trainer:
                     log.record(f"eval_{name}", epoch, value)
                 result.final_metrics = dict(metrics)
                 if result.diverged:
+                    flush_last_point()
                     return result
             stop = False
             for callback in self.callbacks:
@@ -136,5 +212,6 @@ class Trainer:
             if stop:
                 result.stopped_early = True
                 break
+        flush_last_point()
         result.final_metrics.setdefault("diverged", 0.0)
         return result

@@ -8,6 +8,7 @@ runs trivially serialisable and testable.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -60,6 +61,55 @@ class RunLog:
         lines = ["step,value"]
         lines.extend(f"{s},{v!r}" for s, v in self.series[name])
         return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        """The whole log — ``meta`` plus every series — as JSONL text.
+
+        Unlike :meth:`to_csv` (one series, no meta) this is a lossless
+        round-trip with :meth:`from_jsonl`: the first line carries
+        ``meta``, then one line per series in insertion order.  Non-finite
+        values survive (Python's JSON emits/accepts ``NaN``/``Infinity``).
+        """
+        lines = [json.dumps({"kind": "meta", "meta": self.meta})]
+        for name, points in self.series.items():
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "series",
+                        "name": name,
+                        "points": [[s, v] for s, v in points],
+                    }
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RunLog":
+        """Rebuild a :class:`RunLog` from :meth:`to_jsonl` output."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("kind")
+            if kind == "meta":
+                log.meta.update(obj.get("meta", {}))
+            elif kind == "series":
+                for step, value in obj["points"]:
+                    log.record(obj["name"], step, value)
+            else:
+                raise ValueError(f"unknown RunLog JSONL record kind {kind!r}")
+        return log
+
+    def save_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "RunLog":
+        with open(path) as fh:
+            return cls.from_jsonl(fh.read())
 
 
 class Timer:

@@ -117,6 +117,55 @@ class TestTrainer:
         r = TrainResult(log=None)  # type: ignore[arg-type]
         assert r.metric("missing", 42.0) == 42.0
 
+    def test_final_iteration_logged_with_sparse_log_every(self, rng):
+        """The last point must land in the log even when log_every skips it."""
+        ds, model, loss_fn = make_linear_problem(rng)
+        it = BatchIterator(ds, 16, rng=1)  # 4 steps/epoch
+        result = Trainer(
+            loss_fn, SGD(model, lr=0.1), ConstantLR(0.1), it, grad_clip=1.0
+        ).run(1, log_every=5)
+        last = it.steps_per_epoch - 1  # iteration 3, not on the stride
+        assert result.log.steps("loss") == [0, last]
+        assert result.log.steps("lr") == [0, last]
+        assert result.log.steps("grad_norm") == result.log.steps("loss")
+
+    def test_final_iteration_not_duplicated_when_on_stride(self, rng):
+        ds, model, loss_fn = make_linear_problem(rng)
+        it = BatchIterator(ds, 16, rng=1)  # 4 steps/epoch
+        result = Trainer(
+            loss_fn, SGD(model, lr=0.1), ConstantLR(0.1), it
+        ).run(1, log_every=1)
+        assert result.log.steps("loss") == list(range(it.steps_per_epoch))
+
+    def test_series_stay_synchronized(self, rng):
+        """loss/lr/grad_norm record the same steps under any log_every."""
+        for log_every in (1, 2, 5, 7):
+            ds, model, loss_fn = make_linear_problem(rng)
+            it = BatchIterator(ds, 16, rng=1)
+            result = Trainer(
+                loss_fn, SGD(model, lr=0.1), ConstantLR(0.1), it,
+                grad_clip=0.5,
+            ).run(3, log_every=log_every)
+            steps = result.log.steps("loss")
+            assert result.log.steps("lr") == steps
+            assert result.log.steps("grad_norm") == steps
+
+    def test_divergence_records_loss_and_lr_together(self, rng):
+        ds, model, _ = make_linear_problem(rng)
+        it = BatchIterator(ds, 16, rng=1)
+
+        def sq_loss(batch):
+            xb, _ = batch
+            out = model(Tensor(xb))
+            return (out * out).mean()
+
+        result = Trainer(
+            sq_loss, Momentum(model, lr=1e20), ConstantLR(1e20), it
+        ).run(10, log_every=1000)  # stride would skip the diverged point
+        assert result.diverged
+        assert result.log.steps("loss") == result.log.steps("lr")
+        assert not math.isfinite(result.log.last("loss"))
+
 
 class TestGridTuner:
     @staticmethod

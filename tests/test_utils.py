@@ -119,6 +119,43 @@ class TestRunLog:
         with pytest.raises(KeyError):
             RunLog().to_csv("nope")
 
+    def test_jsonl_roundtrip_preserves_series_and_meta(self):
+        log = RunLog()
+        log.meta["workload"] = "mnist"
+        log.meta["batch"] = 64
+        log.record("loss", 0, 1.5)
+        log.record("loss", 3, 0.25)
+        log.record("eval_accuracy", 0, 0.9)
+        back = RunLog.from_jsonl(log.to_jsonl())
+        assert back.meta == {"workload": "mnist", "batch": 64}
+        assert back.series["loss"] == [(0, 1.5), (3, 0.25)]
+        assert back.series["eval_accuracy"] == [(0, 0.9)]
+
+    def test_jsonl_roundtrip_nonfinite_values(self):
+        import math
+
+        log = RunLog()
+        log.record("loss", 0, float("nan"))
+        log.record("loss", 1, float("inf"))
+        back = RunLog.from_jsonl(log.to_jsonl())
+        assert math.isnan(back.values("loss")[0])
+        assert math.isinf(back.values("loss")[1])
+
+    def test_jsonl_empty_log(self):
+        back = RunLog.from_jsonl(RunLog().to_jsonl())
+        assert back.meta == {} and not back.series
+
+    def test_jsonl_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            RunLog.from_jsonl('{"kind": "mystery"}')
+
+    def test_jsonl_file_roundtrip(self, tmp_path):
+        log = RunLog()
+        log.record("lr", 2, 0.1)
+        path = tmp_path / "run.jsonl"
+        log.save_jsonl(str(path))
+        assert RunLog.load_jsonl(str(path)).series["lr"] == [(2, 0.1)]
+
 
 class TestTimer:
     def test_measures_nonnegative(self):
