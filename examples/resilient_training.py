@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Fault-tolerant training: surviving crashes, stragglers and NaN steps.
+
+Large-batch runs at paper scale hold hundreds of workers for hours, so
+faults are the common case, not the exception: a worker process dies, a
+straggler hangs, a too-aggressive peak LR blows the loss up to NaN.  This
+demo trains the MNIST-LSTM under *seeded* injections of all three fault
+classes and shows the resilience stack absorbing every one of them:
+
+* :class:`~repro.parallel.mp.MultiprocessCluster` re-submits crashed and
+  straggling shards under a bounded retry budget (worker crash p=0.1 per
+  shard-step, plus deliberate stragglers);
+* :class:`~repro.train.resilience.ResilientTrainer` catches exactly one
+  NaN-poisoned loss step, rolls back to the last hardened checkpoint and
+  re-enters warmup at a backed-off peak LR;
+* every detected fault and recovery is counted through ``repro.obs``.
+
+The punchline is the comparison against an identical fault-free run: the
+faulted run finishes with the same test accuracy (rollback costs a few
+replayed iterations, nothing else), while the counters prove the faults
+really happened.
+
+Run:  python examples/resilient_training.py        (seconds)
+"""
+
+from __future__ import annotations
+
+import functools
+import tempfile
+
+from repro.data import BatchIterator, make_sequential_mnist
+from repro.models import MnistLSTMClassifier
+from repro.obs import Obs
+from repro.optim import Momentum
+from repro.parallel import FaultSpec, LossFaultInjector, MultiprocessCluster
+from repro.schedules import ConstantLR
+from repro.train import ResilientTrainer
+
+# functools.partial of an importable class pickles by reference, so the
+# worker processes can rebuild the replica without importing this script
+MODEL_FACTORY = functools.partial(
+    MnistLSTMClassifier, rng=0, input_dim=10, transform_dim=32, hidden=32
+)
+
+N_WORKERS = 2
+BATCH = 32
+EPOCHS = 16
+LR = 0.2
+
+
+def train_once(train, test, ckpt_dir: str, inject_faults: bool):
+    """One complete run; returns (result, obs, cluster fault counters)."""
+    model = MODEL_FACTORY()
+    optimizer = Momentum(model, lr=LR)
+    batches = BatchIterator(train, BATCH, rng=7)
+    obs = Obs(metrics=True)
+
+    # Worker-level faults: each (step, shard, attempt) coordinate rolls
+    # crash with p=0.1 and straggle with p=0.01 — deterministically, from
+    # the seed alone.  first_attempt_only makes retries succeed, so the
+    # bounded retry budget is exercised but never exhausted.
+    spec = None
+    injector = None
+    if inject_faults:
+        spec = FaultSpec(
+            seed=11, crash_rate=0.10, straggle_rate=0.01, straggle_seconds=0.25
+        )
+        # Trainer-level fault: exactly one NaN-poisoned loss step.  The
+        # injector marks fired iterations, so the rolled-back replay of
+        # the same iteration passes cleanly.
+        injector = LossFaultInjector(0.25, seed=5, max_faults=1)
+
+    with MultiprocessCluster(
+        MODEL_FACTORY, N_WORKERS, timeout=60.0, max_retries=3,
+        backoff=0.01, fault_spec=spec,
+    ) as cluster, obs.activate():
+        trainer = ResilientTrainer(
+            model,
+            optimizer,
+            ConstantLR(LR),
+            batches,
+            checkpoint_dir=ckpt_dir,
+            gradient_fn=lambda batch: cluster.gradient_step(model, batch),
+            eval_fn=lambda: model.evaluate(test),
+            fault_injector=injector,
+            obs=obs,
+            keep_last=3,
+            max_recoveries=3,
+        )
+        result = trainer.run(EPOCHS)
+        counters = (cluster.faults_detected, cluster.retries)
+    return result, obs, counters
+
+
+def main() -> None:
+    train, test = make_sequential_mnist(512, 128, rng=1, size=10)
+
+    print("== fault-free reference run ==")
+    with tempfile.TemporaryDirectory() as d:
+        clean, _, _ = train_once(train, test, d, inject_faults=False)
+    clean_acc = clean.final_metrics["accuracy"]
+    print(f"final accuracy: {clean_acc:.4f}  (diverged: {clean.diverged})")
+
+    print()
+    print("== faulted run: crash p=0.10, straggle p=0.01, one NaN step ==")
+    with tempfile.TemporaryDirectory() as d:
+        faulty, obs, (w_faults, w_retries) = train_once(
+            train, test, d, inject_faults=True
+        )
+    fault_acc = faulty.final_metrics["accuracy"]
+    print(f"final accuracy: {fault_acc:.4f}  (diverged: {faulty.diverged})")
+    print(f"worker faults detected : {w_faults} (shards crashed or straggled)")
+    print(f"shard retries          : {w_retries} (all within budget)")
+    print(f"NaN losses caught      : {int(faulty.final_metrics['faults_detected'])}")
+    print(f"rollback recoveries    : {int(faulty.final_metrics['recoveries'])}")
+
+    print()
+    print("obs counters (what a metrics export would show):")
+    for name in sorted(obs.metrics.names()):
+        if name.startswith(("parallel/", "resilience/")):
+            print(f"  {name:30s} {obs.metrics.counter(name).value:g}")
+
+    gap = abs(fault_acc - clean_acc)
+    print()
+    print(f"accuracy gap faulted vs fault-free: {gap:.4f}")
+    verdict = "within noise" if gap <= 0.1 else "OUTSIDE noise band"
+    print(f"=> the faulted run matches the reference ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,13 @@ counters/gauges/histograms as JSONL — per-layer trust ratios, grad
 norms, all-reduce traffic) and ``--profile`` (op-level engine profile,
 forward and backward separately).  All three default to off, which keeps
 the run on the exact uninstrumented code path.
+
+``train`` additionally accepts the resilience flags (docs/resilience.md):
+``--checkpoint-dir DIR`` switches to fault-tolerant training with
+hardened per-epoch checkpoints and divergence rollback, ``--resume``
+continues a killed run bit-exactly, ``--keep-last K`` bounds retention,
+``--max-recoveries N`` bounds rollbacks, and ``--fault-rate P`` arms the
+seeded NaN-loss injector for demos and testing.
 """
 
 from __future__ import annotations
@@ -112,6 +119,35 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--warmup-epochs", type=float, default=0.0)
     tr.add_argument("--epochs", type=int, default=None)
     tr.add_argument("--seed", type=int, default=0)
+    res = tr.add_argument_group(
+        "resilience",
+        "fault-tolerant training (see docs/resilience.md); activated by "
+        "--checkpoint-dir",
+    )
+    res.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write hardened per-epoch checkpoints to DIR and train with "
+             "divergence rollback",
+    )
+    res.add_argument(
+        "--resume", action="store_true",
+        help="resume bit-exactly from the newest checkpoint in "
+             "--checkpoint-dir",
+    )
+    res.add_argument(
+        "--keep-last", type=int, default=3, metavar="K",
+        help="retain only the newest K checkpoints (default 3)",
+    )
+    res.add_argument(
+        "--max-recoveries", type=int, default=2, metavar="N",
+        help="rollback-and-retry budget before reporting divergence "
+             "(default 2)",
+    )
+    res.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="seeded per-iteration NaN-loss injection probability "
+             "(demo/testing; default 0)",
+    )
     _add_obs_flags(tr)
     return parser
 
@@ -180,20 +216,43 @@ def _cmd_train(args: argparse.Namespace) -> int:
             epochs=args.epochs,
         )
         print(f"schedule: {args.schedule} scaling, warmup {args.warmup_epochs} ep")
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.fault_rate and args.checkpoint_dir is None:
+        print("--fault-rate requires --checkpoint-dir", file=sys.stderr)
+        return 2
     obs = _build_obs(args)
+
+    def train(obs=None):
+        if args.checkpoint_dir is not None:
+            return wl.run_resilient(
+                batch, schedule, checkpoint_dir=args.checkpoint_dir,
+                seed=args.seed, epochs=args.epochs, obs=obs,
+                resume=args.resume, keep_last=args.keep_last,
+                max_recoveries=args.max_recoveries,
+                fault_rate=args.fault_rate,
+            )
+        return wl.run(batch, schedule, seed=args.seed, epochs=args.epochs, obs=obs)
+
     if obs is None:
-        result = wl.run(batch, schedule, seed=args.seed, epochs=args.epochs)
+        result = train()
     else:
         with obs.activate():
-            result = wl.run(
-                batch, schedule, seed=args.seed, epochs=args.epochs, obs=obs
-            )
+            result = train(obs)
     score = score_of(result, wl.metric)
     status = "DIVERGED" if result.diverged else "ok"
     print(
         f"{args.workload} @ batch {batch} "
         f"(paper {wl.paper_batch(batch)}): {wl.metric} = {score:.4g} [{status}]"
     )
+    if args.checkpoint_dir is not None:
+        faults = int(result.final_metrics.get("faults_detected", 0))
+        recoveries = int(result.final_metrics.get("recoveries", 0))
+        print(
+            f"resilience: {faults} fault(s) detected, {recoveries} "
+            f"recovery(ies), checkpoints in {args.checkpoint_dir}"
+        )
     if obs is not None:
         _emit_obs(obs, args)
     return 0 if not result.diverged else 1

@@ -64,6 +64,11 @@ class BatchIterator:
             len(dataset), self.batch_size, drop_last
         )
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The shuffling stream — checkpointable for bit-exact resume."""
+        return self._rng
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
@@ -106,6 +111,11 @@ class PaddedBatchIterator:
         self.bucket_by_length = bucket_by_length
         self._rng = as_generator(rng)
         self.steps_per_epoch = steps_per_epoch(len(pairs), self.batch_size)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The shuffling stream — checkpointable for bit-exact resume."""
+        return self._rng
 
     def __len__(self) -> int:
         return self.steps_per_epoch

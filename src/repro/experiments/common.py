@@ -48,7 +48,8 @@ from repro.schedules import (
     linear_scaled_lr,
     sqrt_scaled_lr,
 )
-from repro.train import Trainer, TrainResult
+from repro.parallel.faults import LossFaultInjector
+from repro.train import ResilientTrainer, Trainer, TrainResult
 
 PRESETS = ("smoke", "small")
 
@@ -171,6 +172,53 @@ class Workload:
             obs=obs,
         )
         return trainer.run(epochs if epochs is not None else self.epochs)
+
+    def run_resilient(
+        self,
+        batch: int,
+        schedule: Schedule,
+        *,
+        checkpoint_dir,
+        solver: str | None = None,
+        seed: int = 0,
+        epochs: int | None = None,
+        obs=None,
+        resume: bool = False,
+        keep_last: int | None = 3,
+        max_recoveries: int = 2,
+        fault_rate: float = 0.0,
+    ) -> TrainResult:
+        """Train with fault tolerance: hardened checkpoints + rollback.
+
+        The resilient counterpart of :meth:`run` — same model, data and
+        schedule construction, but driven by
+        :class:`~repro.train.resilience.ResilientTrainer`: checkpoints
+        land in ``checkpoint_dir`` each epoch, ``resume=True`` continues
+        a killed run bit-exactly, and ``fault_rate > 0`` arms seeded
+        NaN-loss injection (the recovery-path demo).
+        """
+        model = self.make_model(seed)
+        train_iter = self.make_train_iter(batch, seed + 1)
+        optimizer = self.make_optimizer(model, solver)
+        injector = (
+            LossFaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
+        )
+        trainer = ResilientTrainer(
+            model,
+            optimizer,
+            schedule,
+            train_iter,
+            checkpoint_dir=checkpoint_dir,
+            eval_fn=self.make_eval_fn(model),
+            grad_clip=self.grad_clip,
+            obs=obs,
+            keep_last=keep_last,
+            max_recoveries=max_recoveries,
+            fault_injector=injector,
+        )
+        return trainer.run(
+            epochs if epochs is not None else self.epochs, resume=resume
+        )
 
     def run_legw(
         self, batch: int, seed: int = 0, epochs: int | None = None

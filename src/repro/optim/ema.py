@@ -70,3 +70,20 @@ class EMAWeights:
 
     def __exit__(self, *exc) -> None:
         self.swap_out()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """The shadow weights (checkpoint while live weights are in place)."""
+        if self._swapped:
+            raise RuntimeError("cannot snapshot while shadow weights are live")
+        return {name: arr.copy() for name, arr in self.shadow.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if self._swapped:
+            raise RuntimeError("cannot restore while shadow weights are live")
+        missing = set(self.shadow) - set(state)
+        if missing:
+            raise ValueError(f"EMA state missing shadows for {sorted(missing)}")
+        for name in self.shadow:
+            self.shadow[name] = np.array(state[name], copy=True)

@@ -68,8 +68,9 @@ class DynamicLossScaler:
         """Divide all gradients by the scale; adapt the scale.
 
         Returns ``True`` when every gradient is finite (caller should
-        step); on any non-finite gradient the gradients are zeroed, the
-        step must be skipped, and the scale backs off.
+        step); on any non-finite gradient every gradient is dropped
+        (set to ``None``, exactly like ``zero_grad``), the step must be
+        skipped, and the scale backs off.
         """
         finite = True
         for p in params:
@@ -95,3 +96,18 @@ class DynamicLossScaler:
         self._clean_steps = 0
         self.steps_skipped += 1
         return False
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict[str, float]:
+        """The adaptive state needed for a bit-exact resume."""
+        return {
+            "scale": self.scale,
+            "clean_steps": float(self._clean_steps),
+            "steps_skipped": float(self.steps_skipped),
+        }
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        self.scale = float(state["scale"])
+        self._clean_steps = int(state["clean_steps"])
+        self.steps_skipped = int(state["steps_skipped"])

@@ -24,11 +24,21 @@ from repro.parallel.allreduce import (
 )
 from repro.parallel.cost import CommModel, ring_time, tree_time, naive_time
 from repro.parallel.cluster import SimCluster, shard_batch
+from repro.parallel.faults import (
+    FaultSpec,
+    LossFaultInjector,
+    WorkerCrashError,
+    WorkerFaultError,
+)
 from repro.parallel.mp import MultiprocessCluster
 from repro.parallel.perfmodel import DeviceModel, APP_DEVICE_MODELS, epoch_time, training_time, speedup
 
 __all__ = [
     "MultiprocessCluster",
+    "FaultSpec",
+    "LossFaultInjector",
+    "WorkerCrashError",
+    "WorkerFaultError",
     "ring_allreduce",
     "tree_allreduce",
     "naive_allreduce",

@@ -1,4 +1,4 @@
-"""A real multiprocess data-parallel backend.
+"""A real multiprocess data-parallel backend, with worker fault tolerance.
 
 :class:`~repro.parallel.cluster.SimCluster` simulates workers in-process;
 this module runs them as actual OS processes (the mpi4py-style SPMD
@@ -14,6 +14,20 @@ offline).  Each step:
    installs them, exactly like the simulated cluster — so the same
    equivalence theorem applies and is tested.
 
+Fault tolerance: shards are dispatched asynchronously and collected with
+a per-shard ``timeout``, so a crashed or hung worker surfaces as a
+detectable fault instead of a deadlock.  A faulted shard is re-submitted
+(the pool reassigns it to any healthy process) under a bounded retry
+budget with exponential backoff; when the budget is exhausted the step
+fails loudly with :class:`~repro.parallel.faults.WorkerFaultError`.  A
+returned shard whose loss or gradients are non-finite counts as a fault
+too, and a final sanity gate re-checks the *reduced* gradient before it
+is installed — a poisoned reduction can never reach the optimizer.
+
+Every detected fault and retry increments ``parallel/faults_detected`` /
+``parallel/retries`` on the active metrics registry (see ``repro.obs``)
+as well as the cluster's own counters.
+
 This is a demonstration backend: per-step broadcast of the full state is
 the textbook pattern, not a performance claim (the performance claims
 live in the cost model).  Worker processes are created once and reused.
@@ -22,17 +36,30 @@ live in the cost model).  Worker processes are created once and reused.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_active
 from repro.parallel.cluster import shard_batch
+from repro.parallel.faults import FaultSpec, WorkerFaultError
 from repro.tensor.tensor import Tensor
 
 
 def _worker_gradient(args):
-    """Executed inside a worker process: one shard's loss and gradients."""
-    factory, state, shard = args
+    """Executed inside a worker process: one shard's loss and gradients.
+
+    ``fault`` is ``None`` or ``(spec, step, shard_idx, attempt)`` — the
+    injection coordinates under which this computation may be made to
+    crash, straggle, or return NaN-poisoned gradients (see
+    :mod:`repro.parallel.faults`).
+    """
+    factory, state, shard, fault = args
+    kind = None
+    if fault is not None:
+        spec, step, shard_idx, attempt = fault
+        kind = spec.pre_compute(step, shard_idx, attempt)
     model = factory()
     model.load_state_dict(state)
     model.zero_grad()
@@ -42,7 +69,15 @@ def _worker_gradient(args):
         name: (p.grad if p.grad is not None else np.zeros_like(p.data))
         for name, p in model.named_parameters()
     }
+    if kind == "nan":
+        FaultSpec.poison(grads)
     return float(loss.data), grads
+
+
+def _shard_finite(loss: float, grads: dict[str, np.ndarray]) -> bool:
+    if not np.isfinite(loss):
+        return False
+    return all(np.isfinite(g).all() for g in grads.values())
 
 
 class MultiprocessCluster:
@@ -57,38 +92,135 @@ class MultiprocessCluster:
         so the factory's own initialisation seed is irrelevant.
     n_workers:
         Process count.
+    timeout:
+        Seconds to wait for any one shard before declaring its worker
+        crashed or hung (``None`` waits forever — the seed behaviour).
+    max_retries:
+        How many times one shard may be re-submitted within a step before
+        the step fails with :class:`WorkerFaultError`.
+    backoff:
+        Base of the exponential backoff slept before the ``k``-th retry
+        (``backoff * 2**k`` seconds).
+    fault_spec:
+        Optional :class:`~repro.parallel.faults.FaultSpec` injected into
+        every worker computation — used by the tests and the resilience
+        demo; ``None`` in production.
     """
 
-    def __init__(self, model_factory: Callable[[], object], n_workers: int):
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        n_workers: int,
+        *,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        fault_spec: FaultSpec | None = None,
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.model_factory = model_factory
         self.n_workers = n_workers
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.fault_spec = fault_spec
+        self.faults_detected = 0
+        self.retries = 0
+        self._step = 0
         ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
         self._pool = ctx.Pool(processes=n_workers)
+
+    # -- fault bookkeeping --------------------------------------------------
+
+    def _record_fault(self) -> None:
+        self.faults_detected += 1
+        reg = get_active()
+        if reg is not None:
+            reg.counter("parallel/faults_detected").inc()
+
+    def _record_retry(self) -> None:
+        self.retries += 1
+        reg = get_active()
+        if reg is not None:
+            reg.counter("parallel/retries").inc()
+
+    # -- the step -----------------------------------------------------------
+
+    def _submit(self, state, shard, step: int, shard_idx: int, attempt: int):
+        fault = None
+        if self.fault_spec is not None:
+            fault = (self.fault_spec, step, shard_idx, attempt)
+        return self._pool.apply_async(
+            _worker_gradient, ((self.model_factory, state, shard, fault),)
+        )
 
     def gradient_step(self, model, batch_arrays: Sequence[np.ndarray]) -> float:
         """Compute the global-batch gradient into ``model``'s ``.grad`` s.
 
         Returns the shard-weighted mean loss (== the full-batch loss of a
-        mean-reduction objective).
+        mean-reduction objective).  Raises :class:`WorkerFaultError` when
+        any shard exhausts its retry budget.
         """
         shards = shard_batch(list(batch_arrays), self.n_workers)
         sizes = np.array([len(s[0]) for s in shards], dtype=np.float64)
         weights = sizes / sizes.sum()
         state = model.state_dict()
-        results = self._pool.map(
-            _worker_gradient,
-            [(self.model_factory, state, shard) for shard in shards],
-        )
+        step = self._step
+        self._step += 1
+
+        n = len(shards)
+        attempts = [0] * n
+        results: list[tuple[float, dict[str, np.ndarray]] | None] = [None] * n
+        pending = {
+            i: self._submit(state, shards[i], step, i, 0) for i in range(n)
+        }
+        while pending:
+            for i in list(pending):
+                handle = pending.pop(i)
+                try:
+                    loss, grads = handle.get(self.timeout)
+                    if not _shard_finite(loss, grads):
+                        raise WorkerFaultError(
+                            f"shard {i} returned non-finite loss/gradients"
+                        )
+                except Exception as exc:  # crash, hang/timeout, poisoned grads
+                    self._record_fault()
+                    if attempts[i] >= self.max_retries:
+                        raise WorkerFaultError(
+                            f"shard {i} failed after {attempts[i] + 1} attempts "
+                            f"(step {step}): {exc}"
+                        ) from exc
+                    if self.backoff:
+                        time.sleep(self.backoff * 2 ** attempts[i])
+                    attempts[i] += 1
+                    self._record_retry()
+                    pending[i] = self._submit(state, shards[i], step, i, attempts[i])
+                else:
+                    results[i] = (loss, grads)
+
+        # reduce into fresh buffers and gate before touching the model —
+        # a non-finite reduction must never be installed
         named = dict(model.named_parameters())
-        for name, p in named.items():
-            p.grad = np.zeros_like(p.data)
+        reduced = {name: np.zeros_like(p.data) for name, p in named.items()}
         total_loss = 0.0
         for (loss, grads), w in zip(results, weights):
             total_loss += w * loss
             for name, g in grads.items():
-                named[name].grad += w * g
+                reduced[name] += w * g
+        if not np.isfinite(total_loss) or any(
+            not np.isfinite(g).all() for g in reduced.values()
+        ):
+            self._record_fault()
+            raise WorkerFaultError(
+                f"reduced gradient is non-finite at step {step}; not installing"
+            )
+        for name, p in named.items():
+            p.grad = reduced[name]
         return total_loss
 
     def close(self) -> None:

@@ -28,12 +28,15 @@ class MultiStepDecay(Schedule):
     ) -> None:
         if steps_per_epoch <= 0:
             raise ValueError("steps_per_epoch must be positive")
-        if sorted(milestones_epochs) != list(milestones_epochs):
-            raise ValueError("milestones must be sorted ascending")
+        milestones = list(milestones_epochs)
+        # strictly increasing: a duplicate like [30, 30, 60] passes a
+        # sorted() check but silently applies gamma twice at one iteration
+        if any(b <= a for a, b in zip(milestones, milestones[1:])):
+            raise ValueError("milestones must be strictly increasing")
         self.base_lr = float(base_lr)
         self.gamma = float(gamma)
         self.milestones_iters = [
-            int(round(m * steps_per_epoch)) for m in milestones_epochs
+            int(round(m * steps_per_epoch)) for m in milestones
         ]
 
     def lr_at(self, iteration: int) -> float:

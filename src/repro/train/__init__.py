@@ -9,6 +9,7 @@ from repro.train.metrics import (
 )
 from repro.train.trainer import Trainer, TrainResult
 from repro.train.accumulate import AccumulatingTrainer, accumulate_gradients
+from repro.train.resilience import RecoverySchedule, ResilientTrainer
 from repro.train.tuner import GridTuner, TuningOutcome
 from repro.train.callbacks import (
     Callback,
@@ -28,6 +29,8 @@ __all__ = [
     "ngram_counts",
     "Trainer",
     "TrainResult",
+    "ResilientTrainer",
+    "RecoverySchedule",
     "GridTuner",
     "TuningOutcome",
     "Callback",

@@ -20,7 +20,7 @@ from repro.optim.base import Optimizer
 from repro.optim.clip import clip_grad_norm
 from repro.schedules.base import Schedule
 from repro.utils.log import RunLog
-from repro.train.trainer import TrainResult
+from repro.train.trainer import TrainResult, _record_point
 
 
 def accumulate_gradients(
@@ -93,11 +93,13 @@ class AccumulatingTrainer:
     def run(self, epochs: int) -> TrainResult:
         log = RunLog()
         result = TrainResult(log=log)
-        params = [p for _, p in self.optimizer.params]
         iteration = 0
+        prev_epoch_batches: int | None = None
         for epoch in range(epochs):
+            n_batches = 0
             group: list = []
             for batch in self.train_iter:
+                n_batches += 1
                 group.append(batch)
                 if len(group) < self.accum_steps:
                     continue
@@ -111,6 +113,17 @@ class AccumulatingTrainer:
                 if result.diverged:
                     result.epochs_completed = epoch
                     return result
+            if n_batches == 0 and prev_epoch_batches:
+                # a generator train_iter is exhausted after its first epoch;
+                # silently "completing" the rest with zero iterations would
+                # corrupt every fixed-epoch comparison built on this loop
+                raise ValueError(
+                    f"train_iter yielded no batches in epoch {epoch} after "
+                    f"{prev_epoch_batches} in the previous one — it is a "
+                    "one-shot iterator (e.g. a generator); pass a re-iterable "
+                    "like BatchIterator"
+                )
+            prev_epoch_batches = n_batches
             result.epochs_completed = epoch + 1
             if self.eval_fn is not None:
                 metrics = self.eval_fn()
@@ -125,16 +138,18 @@ class AccumulatingTrainer:
         weights = (sizes / sizes.sum()).tolist()
         params = [p for _, p in self.optimizer.params]
         loss = accumulate_gradients(self.loss_fn, group, params, weights)
+        lr = self.schedule(iteration)
         if not math.isfinite(loss):
             result.diverged = True
             result.final_metrics["diverged"] = 1.0
-            log.record("loss", iteration, loss)
+            # loss and lr are appended together so the series can never
+            # desynchronize — same contract as Trainer._record_point
+            _record_point(log, iteration, loss, lr, None)
             return iteration
+        norm = None
         if self.grad_clip is not None:
-            clip_grad_norm(params, self.grad_clip)
-        lr = self.schedule(iteration)
+            norm = clip_grad_norm(params, self.grad_clip)
         self.optimizer.step(lr=lr)
         self.optimizer.zero_grad()
-        log.record("loss", iteration, loss)
-        log.record("lr", iteration, lr)
+        _record_point(log, iteration, loss, lr, norm)
         return iteration + 1

@@ -9,6 +9,8 @@ A callback receives ``on_iteration(iteration, loss, lr)`` after every
 optimizer step and ``on_epoch_end(epoch, metrics) -> bool`` after every
 evaluation; returning ``True`` from ``on_epoch_end`` requests an early
 stop (recorded in the result, never conflated with divergence).
+``on_train_end(result)`` fires exactly once when the run finishes for any
+reason — normal completion, early stop, or divergence.
 """
 
 from __future__ import annotations
@@ -29,6 +31,9 @@ class Callback:
     def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
         """Return True to request an early stop."""
         return False
+
+    def on_train_end(self, result) -> None:
+        """Called once when the run finishes (any exit path)."""
 
 
 class BestMetric(Callback):
@@ -98,28 +103,54 @@ class EarlyStopping(BestMetric):
 
 class CheckpointEveryN(Callback):
     """Save a checkpoint every ``every`` epochs (and always at the last
-    call), keeping one file per save under ``directory``."""
+    call), keeping one file per save under ``directory``.
 
-    def __init__(self, directory, model, optimizer=None, every: int = 1):
+    The final-epoch guarantee is honoured through ``on_train_end``: a run
+    of ``epochs=10`` with ``every=3`` saves after epochs 2, 5, 8 *and* 9.
+    Saves are atomic + checksummed (:func:`repro.utils.save_checkpoint`);
+    ``keep_last`` optionally prunes all but the newest ``k`` files.
+    """
+
+    def __init__(
+        self, directory, model, optimizer=None, every: int = 1,
+        keep_last: int | None = None,
+    ):
         if every < 1:
             raise ValueError("every must be >= 1")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None to keep all)")
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.model = model
         self.optimizer = optimizer
         self.every = every
+        self.keep_last = keep_last
         self.saved: list[pathlib.Path] = []
         self._iteration = 0
+        self._last_epoch: int | None = None
+        self._last_saved_epoch: int | None = None
+
+    def _save(self, epoch: int) -> None:
+        path = self.directory / f"epoch_{epoch:04d}.npz"
+        save_checkpoint(path, self.model, self.optimizer, self._iteration)
+        self.saved.append(path)
+        self._last_saved_epoch = epoch
+        if self.keep_last is not None:
+            while len(self.saved) > self.keep_last:
+                self.saved.pop(0).unlink(missing_ok=True)
 
     def on_iteration(self, iteration: int, loss: float, lr: float) -> None:
         self._iteration = iteration
 
     def on_epoch_end(self, epoch: int, metrics: dict[str, float]) -> bool:
+        self._last_epoch = epoch
         if (epoch + 1) % self.every == 0:
-            path = self.directory / f"epoch_{epoch:04d}.npz"
-            save_checkpoint(path, self.model, self.optimizer, self._iteration)
-            self.saved.append(path)
+            self._save(epoch)
         return False
+
+    def on_train_end(self, result) -> None:
+        if self._last_epoch is not None and self._last_saved_epoch != self._last_epoch:
+            self._save(self._last_epoch)
 
 
 class LambdaCallback(Callback):
@@ -129,9 +160,11 @@ class LambdaCallback(Callback):
         self,
         on_iteration: Callable[[int, float, float], None] | None = None,
         on_epoch_end: Callable[[int, dict[str, float]], bool] | None = None,
+        on_train_end: Callable[[object], None] | None = None,
     ) -> None:
         self._on_iteration = on_iteration
         self._on_epoch_end = on_epoch_end
+        self._on_train_end = on_train_end
 
     def on_iteration(self, iteration: int, loss: float, lr: float) -> None:
         if self._on_iteration is not None:
@@ -141,3 +174,7 @@ class LambdaCallback(Callback):
         if self._on_epoch_end is not None:
             return bool(self._on_epoch_end(epoch, metrics))
         return False
+
+    def on_train_end(self, result) -> None:
+        if self._on_train_end is not None:
+            self._on_train_end(result)

@@ -123,6 +123,14 @@ class Trainer:
         return self._run(epochs, log_every)
 
     def _run(self, epochs: int, log_every: int) -> TrainResult:
+        # every exit path (normal end, early stop, divergence) fires the
+        # callbacks' on_train_end hook exactly once
+        result = self._run_loop(epochs, log_every)
+        for callback in self.callbacks:
+            callback.on_train_end(result)
+        return result
+
+    def _run_loop(self, epochs: int, log_every: int) -> TrainResult:
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         mreg = obs.metrics if obs is not None else None

@@ -3,7 +3,13 @@
 from repro.utils.rng import as_generator, spawn, seed_everything
 from repro.utils.tables import Table, format_series
 from repro.utils.log import RunLog, Timer
-from repro.utils.checkpoint import save_checkpoint, load_checkpoint
+from repro.utils.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    load_checkpoint,
+    read_checkpoint_extra,
+    save_checkpoint,
+)
 from repro.utils.ascii_plot import line_chart, sparkline
 
 __all__ = [
@@ -18,4 +24,7 @@ __all__ = [
     "Timer",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_extra",
+    "CheckpointCorruptError",
+    "CheckpointManager",
 ]

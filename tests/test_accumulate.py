@@ -127,3 +127,37 @@ class TestAccumulatingTrainer:
             AccumulatingTrainer(
                 model.loss, SGD(model, lr=0.1), ConstantLR(0.1), it, accum_steps=0
             )
+
+    def test_diverged_run_keeps_series_aligned(self, mnist_small):
+        """A NaN loss must append loss *and* lr together (no desync)."""
+        model = make_model()
+        it = BatchIterator(mnist_small, 8, rng=1)
+        calls = {"n": 0}
+
+        def poisoned_loss(batch):
+            calls["n"] += 1
+            loss = model.loss(batch)
+            if calls["n"] == 3:
+                loss.data = np.array(float("nan"))
+            return loss
+
+        result = AccumulatingTrainer(
+            poisoned_loss, SGD(model, lr=0.05), ConstantLR(0.05), it,
+            accum_steps=1,
+        ).run(2)
+        assert result.diverged
+        log = result.log
+        assert len(log.values("loss")) == len(log.values("lr"))
+        assert log.steps("loss") == log.steps("lr")
+        assert np.isnan(log.values("loss")[-1])
+
+    def test_one_shot_iterator_detected(self, mnist_small):
+        """A generator exhausts after epoch 0; epoch 1 must fail loudly."""
+        model = make_model()
+        one_shot = iter(BatchIterator(mnist_small, 8, rng=1))
+        trainer = AccumulatingTrainer(
+            model.loss, SGD(model, lr=0.05), ConstantLR(0.05), one_shot,
+            accum_steps=2,
+        )
+        with pytest.raises(ValueError, match="one-shot iterator"):
+            trainer.run(2)

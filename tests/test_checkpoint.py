@@ -93,3 +93,115 @@ class TestCheckpoint:
         path = tmp_path / "noopt.npz"
         save_checkpoint(path, model)
         assert load_checkpoint(path, make_model()) == 0
+
+
+class TestHardenedCheckpoint:
+    def test_corruption_detected_by_checksum(self, tmp_path):
+        from repro.utils import CheckpointCorruptError
+
+        model = make_model()
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, model, iteration=1)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one byte mid-archive
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, make_model())
+
+    def test_unreadable_file_reported_as_corrupt(self, tmp_path):
+        from repro.utils import CheckpointCorruptError
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, make_model())
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        model = make_model()
+        save_checkpoint(tmp_path / "a.npz", model)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.npz"]
+
+    def test_optimizer_lr_and_rng_roundtrip(self, tmp_path, mnist_small):
+        model = make_model()
+        opt = Momentum(model, lr=0.1)
+        opt.lr = 0.025  # mutated mid-run (schedules do this every step)
+        rng = np.random.default_rng(5)
+        rng.random(17)  # advance the stream
+        path = tmp_path / "full.npz"
+        save_checkpoint(path, model, opt, iteration=9, rng=rng)
+        probe = rng.random(4)
+
+        fresh_opt = Momentum(make_model(), lr=0.1)
+        fresh_rng = np.random.default_rng(5)
+        other = make_model()
+        load_checkpoint(path, other, fresh_opt, rng=fresh_rng)
+        assert fresh_opt.lr == 0.025
+        assert np.array_equal(fresh_rng.random(4), probe)  # bit-exact stream
+
+    def test_scaler_and_ema_roundtrip(self, tmp_path, mnist_small):
+        from repro.optim import DynamicLossScaler, EMAWeights
+
+        model = make_model()
+        scaler = DynamicLossScaler(initial_scale=32.0)
+        scaler.scale = 4.0
+        scaler.steps_skipped = 3
+        ema = EMAWeights(list(model.named_parameters()), decay=0.9)
+        ema.update()
+        path = tmp_path / "se.npz"
+        save_checkpoint(path, model, loss_scaler=scaler, ema=ema)
+
+        other = make_model()
+        other_scaler = DynamicLossScaler()
+        other_ema = EMAWeights(list(other.named_parameters()), decay=0.9)
+        load_checkpoint(path, other, loss_scaler=other_scaler, ema=other_ema)
+        assert other_scaler.scale == 4.0
+        assert other_scaler.steps_skipped == 3
+        for (name, a), (_, b) in zip(
+            ema.state_dict().items(), other_ema.state_dict().items()
+        ):
+            assert np.array_equal(a, b), name
+
+    def test_extra_scalars_roundtrip(self, tmp_path):
+        from repro.utils import read_checkpoint_extra
+
+        model = make_model()
+        path = tmp_path / "e.npz"
+        save_checkpoint(path, model, extra={"epoch": 7.0, "lr_scale": 0.5})
+        extra = read_checkpoint_extra(path)
+        assert extra == {"epoch": 7.0, "lr_scale": 0.5}
+
+
+class TestCheckpointManager:
+    def test_retention_keeps_newest_k(self, tmp_path):
+        from repro.utils import CheckpointManager
+
+        model = make_model()
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        for step in (1, 2, 3, 4):
+            mgr.save(model, iteration=step)
+        names = [p.name for p in mgr.checkpoints()]
+        assert names == ["ckpt_0000000003.npz", "ckpt_0000000004.npz"]
+        assert mgr.latest().name == "ckpt_0000000004.npz"
+
+    def test_load_latest_skips_corrupt_newest(self, tmp_path):
+        from repro.utils import CheckpointManager
+
+        model = make_model()
+        mgr = CheckpointManager(tmp_path, keep_last=None)
+        mgr.save(model, iteration=1)
+        good = model.transform.weight.data.copy()
+        model.transform.weight.data[:] = 9.0
+        newest = mgr.save(model, iteration=2)
+        newest.write_bytes(b"truncated garbage")
+
+        other = make_model()
+        loaded = CheckpointManager(tmp_path).load_latest(other)
+        assert loaded is not None
+        iteration, path = loaded
+        assert iteration == 1
+        assert np.array_equal(other.transform.weight.data, good)
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        from repro.utils import CheckpointManager
+
+        assert CheckpointManager(tmp_path).load_latest(make_model()) is None

@@ -72,3 +72,45 @@ class TestTrain:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrainResilience:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["train", "mnist", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_fault_rate_requires_checkpoint_dir(self, capsys):
+        assert main(["train", "mnist", "--fault-rate", "0.1"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_checkpointed_train_and_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpts")
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "1",
+             "--checkpoint-dir", ckpt]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resilience:" in out and "checkpoints in" in out
+        # a second process picks the run up where it stopped
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "2",
+             "--checkpoint-dir", ckpt, "--resume"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy" in out
+
+    @pytest.mark.slow
+    def test_fault_injection_reports_counters(self, capsys, tmp_path):
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "2",
+             "--checkpoint-dir", str(tmp_path / "f"), "--fault-rate", "0.05",
+             "--max-recoveries", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # generous budget: injected faults never end the run
+        line = next(l for l in out.splitlines() if l.startswith("resilience:"))
+        faults = int(line.split()[1])
+        assert faults >= 1  # p=0.05 per step is seeded; this run does fault

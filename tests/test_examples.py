@@ -44,3 +44,14 @@ class TestTrainingExamples:
         out = run_example("noise_scale_critical_batch.py", capsys)
         assert "B_noise" in out
         assert "noise-dominated" in out
+
+    def test_resilient_training(self, capsys):
+        out = run_example("resilient_training.py", capsys)
+        # the acceptance bar: nonzero fault/recovery counters AND a final
+        # accuracy matching the fault-free reference within noise
+        assert "within noise" in out
+        assert "resilience/recoveries" in out
+        line = next(
+            l for l in out.splitlines() if "worker faults detected" in l
+        )
+        assert int(line.split(":")[1].split()[0]) > 0

@@ -1,0 +1,99 @@
+"""Fault injection: seeded, deterministic, replay-safe."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel import FaultSpec, LossFaultInjector, WorkerCrashError
+
+
+class TestFaultSpec:
+    def test_decisions_are_deterministic(self):
+        a = FaultSpec(seed=7, crash_rate=0.3, straggle_rate=0.2, nan_rate=0.2)
+        b = FaultSpec(seed=7, crash_rate=0.3, straggle_rate=0.2, nan_rate=0.2)
+        coords = [(s, sh, 0) for s in range(20) for sh in range(4)]
+        assert [a.decide(*c) for c in coords] == [b.decide(*c) for c in coords]
+
+    def test_seed_changes_schedule(self):
+        a = FaultSpec(seed=1, crash_rate=0.5)
+        b = FaultSpec(seed=2, crash_rate=0.5)
+        coords = [(s, sh, 0) for s in range(30) for sh in range(4)]
+        assert [a.decide(*c) for c in coords] != [b.decide(*c) for c in coords]
+
+    def test_retries_clean_by_default(self):
+        spec = FaultSpec(seed=0, crash_rate=1.0)
+        assert spec.decide(3, 1, attempt=0) == "crash"
+        assert spec.decide(3, 1, attempt=1) is None  # first_attempt_only
+
+    def test_retries_can_refault(self):
+        spec = FaultSpec(seed=0, crash_rate=1.0, first_attempt_only=False)
+        assert spec.decide(3, 1, attempt=1) == "crash"
+
+    def test_rate_partition(self):
+        assert FaultSpec(crash_rate=1.0).decide(0, 0) == "crash"
+        assert FaultSpec(straggle_rate=1.0).decide(0, 0) == "straggle"
+        assert FaultSpec(nan_rate=1.0).decide(0, 0) == "nan"
+        assert FaultSpec().decide(0, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(crash_rate=0.6, straggle_rate=0.5)  # sum > 1
+        with pytest.raises(ValueError):
+            FaultSpec(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(straggle_seconds=-1.0)
+
+    def test_pre_compute_crash_raises(self):
+        spec = FaultSpec(seed=0, crash_rate=1.0)
+        with pytest.raises(WorkerCrashError):
+            spec.pre_compute(0, 0, 0)
+        # the retry of the same shard passes
+        assert spec.pre_compute(0, 0, 1) is None
+
+    def test_pre_compute_nan_defers_to_caller(self):
+        spec = FaultSpec(seed=0, nan_rate=1.0, straggle_seconds=0.0)
+        assert spec.pre_compute(0, 0, 0) == "nan"
+
+    def test_poison_hits_exactly_one_tensor(self):
+        grads = {"a": np.ones(3), "b": np.ones(3)}
+        FaultSpec.poison(grads)
+        poisoned = [k for k, g in grads.items() if np.isnan(g).any()]
+        assert len(poisoned) == 1
+        clean = ({"a", "b"} - set(poisoned)).pop()
+        assert np.isfinite(grads[clean]).all()
+
+
+class TestLossFaultInjector:
+    def test_schedule_is_deterministic(self):
+        fired_a = [
+            i for i in range(60)
+            if math.isnan(LossFaultInjector(0.2, seed=9)(i, 1.0))
+        ]
+        inj = LossFaultInjector(0.2, seed=9)
+        fired_b = [i for i in range(60) if math.isnan(inj(i, 1.0))]
+        assert fired_a == fired_b
+        assert fired_a  # p=0.2 over 60 draws fires somewhere
+
+    def test_each_iteration_fires_at_most_once(self):
+        inj = LossFaultInjector(1.0, seed=0)
+        assert math.isnan(inj(5, 1.0))
+        # the rolled-back replay of iteration 5 passes
+        assert inj(5, 1.0) == 1.0
+
+    def test_max_faults_caps_total(self):
+        inj = LossFaultInjector(1.0, seed=0, max_faults=2)
+        poisoned = sum(1 for i in range(10) if math.isnan(inj(i, 1.0)))
+        assert poisoned == 2
+
+    def test_zero_rate_never_fires(self):
+        inj = LossFaultInjector(0.0, seed=0)
+        assert all(inj(i, 1.0) == 1.0 for i in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossFaultInjector(1.5)
+        with pytest.raises(ValueError):
+            LossFaultInjector(0.5, max_faults=-1)

@@ -57,3 +57,99 @@ class TestMultiprocessCluster:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             MultiprocessCluster(tiny_model_factory, n_workers=0)
+
+
+@pytest.mark.slow
+class TestFaultTolerance:
+    """Injected worker faults are absorbed without changing the math."""
+
+    def _reference_grads(self, batch):
+        ref = tiny_model_factory()
+        ref.zero_grad()
+        loss = ref.loss(batch)
+        loss.backward()
+        return float(loss.data), {n: p.grad for n, p in ref.named_parameters()}
+
+    def test_gradient_survives_crashes_and_poison(self):
+        from repro.parallel import FaultSpec
+
+        train, _ = make_sequential_mnist(24, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        ref_loss, ref_grads = self._reference_grads(batch)
+
+        spec = FaultSpec(
+            seed=3, crash_rate=0.3, straggle_rate=0.2, nan_rate=0.2,
+            straggle_seconds=0.01,
+        )
+        model = tiny_model_factory()
+        with MultiprocessCluster(
+            tiny_model_factory, n_workers=3, max_retries=3, backoff=0.0,
+            fault_spec=spec,
+        ) as cluster:
+            losses = [cluster.gradient_step(model, batch) for _ in range(4)]
+            faults, retries = cluster.faults_detected, cluster.retries
+        assert faults > 0, "rates this high must fire within 12 shard-steps"
+        assert retries == faults  # every fault was retried, none exhausted
+        for loss in losses:
+            assert loss == pytest.approx(ref_loss)
+        for name, g in ref_grads.items():
+            assert np.allclose(
+                g, dict(model.named_parameters())[name].grad, atol=1e-12
+            ), name
+
+    def test_timeout_reassigns_hung_worker(self):
+        from repro.parallel import FaultSpec
+
+        train, _ = make_sequential_mnist(12, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        ref_loss, _ = self._reference_grads(batch)
+
+        # seed 3: shard 0's first attempt hangs well past the timeout while
+        # shard 1 stays clean, so a healthy worker is free to absorb the
+        # reassigned shard (the retry is clean under first_attempt_only)
+        spec = FaultSpec(seed=3, straggle_rate=0.5, straggle_seconds=1.5)
+        assert spec.decide(0, 0, 0) == "straggle" and spec.decide(0, 1, 0) is None
+        model = tiny_model_factory()
+        with MultiprocessCluster(
+            tiny_model_factory, n_workers=2, timeout=0.4, max_retries=2,
+            backoff=0.0, fault_spec=spec,
+        ) as cluster:
+            loss = cluster.gradient_step(model, batch)
+            assert cluster.faults_detected == 1  # the hung shard timed out
+            assert cluster.retries == 1
+        assert loss == pytest.approx(ref_loss)
+
+    def test_retry_budget_exhaustion_fails_loudly(self):
+        from repro.parallel import FaultSpec, WorkerFaultError
+
+        train, _ = make_sequential_mnist(12, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+
+        spec = FaultSpec(seed=0, crash_rate=1.0, first_attempt_only=False)
+        model = tiny_model_factory()
+        with MultiprocessCluster(
+            tiny_model_factory, n_workers=2, max_retries=1, backoff=0.0,
+            fault_spec=spec,
+        ) as cluster:
+            with pytest.raises(WorkerFaultError, match="after 2 attempts"):
+                cluster.gradient_step(model, batch)
+        # the failed step must not have installed partial gradients
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_fault_counters_reach_obs_registry(self):
+        from repro.obs.metrics import MetricsRegistry, activated
+        from repro.parallel import FaultSpec
+
+        train, _ = make_sequential_mnist(12, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        spec = FaultSpec(seed=0, crash_rate=1.0)  # every shard faults once
+        model = tiny_model_factory()
+        registry = MetricsRegistry()
+        with activated(registry):
+            with MultiprocessCluster(
+                tiny_model_factory, n_workers=2, max_retries=1, backoff=0.0,
+                fault_spec=spec,
+            ) as cluster:
+                cluster.gradient_step(model, batch)
+        assert registry.counter("parallel/faults_detected").value == 2.0
+        assert registry.counter("parallel/retries").value == 2.0

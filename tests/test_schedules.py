@@ -84,6 +84,11 @@ class TestMultiStep:
         with pytest.raises(ValueError):
             MultiStepDecay(1.0, [60, 30], 0.1, 10)
 
+    def test_duplicate_milestones_raise(self):
+        # [30, 30, 60] would silently apply gamma twice at one iteration
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MultiStepDecay(1.0, [30, 30, 60], 0.1, 10)
+
     def test_bad_steps_per_epoch(self):
         with pytest.raises(ValueError):
             MultiStepDecay(1.0, [1], 0.1, 0)
