@@ -18,6 +18,11 @@ norms, all-reduce traffic) and ``--profile`` (op-level engine profile,
 forward and backward separately).  All three default to off, which keeps
 the run on the exact uninstrumented code path.
 
+Both commands also take ``--fused`` / ``--no-fused`` (docs/fused_kernels.md)
+to pick between the fused hot-path kernels and the reference engine; with
+neither flag the ``REPRO_FUSED`` environment setting (default: reference)
+applies.
+
 ``train`` additionally accepts the resilience flags (docs/resilience.md):
 ``--checkpoint-dir DIR`` switches to fault-tolerant training with
 hardened per-epoch checkpoints and divergence rollback, ``--resume``
@@ -36,10 +41,25 @@ from typing import Sequence
 from repro.experiments import build_workload, run_experiment, score_of
 from repro.experiments.registry import EXPERIMENTS
 from repro.obs import Obs
+from repro.tensor.fused import use_fused
 from repro.utils.ascii_plot import line_chart
 
 WORKLOADS = ("mnist", "ptb_small", "ptb_large", "gnmt", "resnet")
 SCHEDULE_KINDS = ("legw", "linear", "sqrt", "none")
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fused", action=argparse.BooleanOptionalAction, default=None,
+        help="run with fused hot-path kernels (--no-fused forces the "
+             "reference engine; default: the REPRO_FUSED environment "
+             "setting, i.e. off)",
+    )
+
+
+def _apply_engine_flags(args: argparse.Namespace) -> None:
+    if getattr(args, "fused", None) is not None:
+        use_fused(args.fused)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the driver's raw result dict as JSON",
     )
+    _add_engine_flags(exp)
     _add_obs_flags(exp)
 
     tr = sub.add_parser("train", help="train one workload once")
@@ -148,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded per-iteration NaN-loss injection probability "
              "(demo/testing; default 0)",
     )
+    _add_engine_flags(tr)
     _add_obs_flags(tr)
     return parser
 
@@ -172,6 +194,7 @@ def _chartable_series(out: dict):
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _apply_engine_flags(args)
     obs = _build_obs(args)
     if obs is None:
         out = run_experiment(
@@ -205,6 +228,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    _apply_engine_flags(args)
     wl = build_workload(args.workload, args.preset)
     batch = args.batch if args.batch is not None else wl.base_batch
     if args.schedule == "legw":

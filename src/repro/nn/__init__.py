@@ -2,7 +2,9 @@
 
 The layer zoo covers exactly what the paper's five applications need:
 
-* ``Linear``/``Embedding``/``Dropout`` — common glue;
+* ``Linear``/``Embedding``/``Dropout``/``LayerNorm`` — common glue
+  (``LayerNorm`` dispatches between a composed reference graph and the
+  fused kernel, see :mod:`repro.tensor.fused`);
 * ``LSTMCell``/``LSTM`` — the recurrent core (multi-layer, optional
   bidirectional first layer and residual connections, as in GNMT);
 * ``BahdanauAttention`` — the normalized ``gnmt_v2`` attention mechanism;
@@ -16,6 +18,7 @@ from repro.nn import init
 from repro.nn.linear import Linear
 from repro.nn.embedding import Embedding
 from repro.nn.dropout import Dropout
+from repro.nn.normalization import LayerNorm
 from repro.nn.recurrent import LSTMCell, LSTM
 from repro.nn.attention import BahdanauAttention
 from repro.nn.convnet import Conv2d, BatchNorm2d, MaxPool2d, AvgPool2d, GlobalAvgPool
@@ -30,6 +33,7 @@ __all__ = [
     "Linear",
     "Embedding",
     "Dropout",
+    "LayerNorm",
     "LSTMCell",
     "LSTM",
     "BahdanauAttention",

@@ -1,0 +1,59 @@
+"""Layer normalisation over the trailing (feature) axis.
+
+Ba et al. (2016) normalisation, the variant recurrent stacks prefer over
+batch norm because its statistics are per-example: batch-size-independent
+normalisation is exactly what large-batch scaling sweeps need (changing
+``B`` must not change the function the network computes).
+
+Two implementations share this module's parameters:
+
+* the **reference** path composes the normalisation out of the engine's
+  differentiable primitives (mean / sub / mul / rsqrt chain, ~9 graph
+  nodes) — slow but transparently correct against ``gradcheck``;
+* the **fused** path (:func:`repro.tensor.fused.layer_norm`) is a single
+  graph node with the hand-derived VJP, selected when
+  ``repro.tensor.use_fused`` is on.
+
+Parity between the two is property-tested in ``tests/test_fused_parity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.fused import fused_enabled, layer_norm
+from repro.tensor.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """``y = gain * (x - mean) / sqrt(var + eps) + bias`` over the last axis.
+
+    Parameters
+    ----------
+    dim:
+        Size of the trailing feature axis being normalised.
+    eps:
+        Variance floor inside the square root (population variance, like
+        TF/PyTorch).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.gain = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"LayerNorm({self.dim}) got trailing axis {x.shape[-1]}"
+            )
+        if fused_enabled():
+            return layer_norm(x, self.gain, self.bias, eps=self.eps)
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        xhat = centered * ((var + self.eps) ** -0.5)
+        return xhat * self.gain + self.bias

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor.fused import fused_enabled, lstm_cell_step, lstm_layer
 from repro.tensor.nnops import dropout_mask
 from repro.tensor.tensor import Tensor, concat, stack, zeros
 from repro.utils.rng import as_generator, spawn
@@ -57,9 +58,18 @@ class LSTMCell(Module):
     def forward(
         self, x: Tensor, state: tuple[Tensor, Tensor]
     ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
-        """One step: ``x`` is (B, input_size); returns (h', (h', c'))."""
+        """One step: ``x`` is (B, input_size); returns (h', (h', c')).
+
+        Dispatches to the fused kernel (3 graph nodes, single-pass
+        backward) when ``repro.tensor.use_fused`` is on; the reference
+        graph below is the correctness baseline the parity suite checks
+        against.  Forward values are bit-identical on both paths.
+        """
         h, c = state
         hs = self.hidden_size
+        if fused_enabled():
+            h_new, c_new = lstm_cell_step(x, h, c, self.kernel, self.bias, hs)
+            return h_new, (h_new, c_new)
         z = concat([x, h], axis=1) @ self.kernel + self.bias
         i = z[:, 0 * hs : 1 * hs].sigmoid()
         f = z[:, 1 * hs : 2 * hs].sigmoid()
@@ -181,6 +191,52 @@ class LSTM(Module):
             outputs[t] = out
         return outputs, state  # type: ignore[return-value]
 
+    def _forward_fused(
+        self,
+        x: Tensor,
+        initial_states: list[tuple[Tensor, Tensor]] | None,
+    ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Full-sequence fused path: one ``fused_lstm_layer`` node per
+        direction per layer, with residual/dropout applied to whole
+        ``(T, B, H)`` tensors.
+
+        The inter-layer dropout masks are drawn in one ``(T, B, H)`` call,
+        which consumes the generator stream exactly like the reference
+        path's ``T`` sequential ``(B, H)`` draws — so both paths drop the
+        same elements for a given seed.
+        """
+        batch = x.shape[1]
+        seq = x
+        final_states: list[tuple[Tensor, Tensor]] = []
+        for layer, cell in enumerate(self.cells):
+            if initial_states is not None:
+                h0, c0 = initial_states[layer]
+            else:
+                h0, c0 = cell.zero_state(batch)
+            layer_input = seq
+            out, h_f, c_f = lstm_layer(
+                seq, h0, c0, cell.kernel, cell.bias, self.hidden_size
+            )
+            if layer == 0 and self.backward_cell is not None:
+                bwd = self.backward_cell
+                bh0, bc0 = bwd.zero_state(batch)
+                bwd_out, _, _ = lstm_layer(
+                    seq, bh0, bc0, bwd.kernel, bwd.bias, self.hidden_size,
+                    reverse=True,
+                )
+                out = concat([out, bwd_out], axis=2)
+            if self.residual_start is not None and layer >= self.residual_start:
+                out = out + layer_input
+            if (
+                self.dropout > 0.0
+                and self.training
+                and layer < self.num_layers - 1
+            ):
+                out = dropout_mask(out, self.dropout, self._buffer_dropout_rng)
+            final_states.append((h_f, c_f))
+            seq = out
+        return seq, final_states
+
     def forward(
         self,
         x: Tensor,
@@ -194,10 +250,17 @@ class LSTM(Module):
         suppressed in *both* directions, so padding never contaminates
         valid states (the property the GNMT attention tests pin down).
 
+        With ``repro.tensor.use_fused`` on, unmasked batches run through
+        :func:`repro.tensor.fused.lstm_layer` (one graph node per direction
+        per layer); masked/ragged batches keep the per-step loop, whose
+        cell steps still use the fused cell kernel.
+
         Returns the top layer's output sequence (T, B, H·dirs) and the final
         ``(h, c)`` per layer (forward-direction state for the bidirectional
         layer).
         """
+        if fused_enabled() and mask is None:
+            return self._forward_fused(x, initial_states)
         seq_len, batch = x.shape[0], x.shape[1]
         if mask is not None:
             mask = np.asarray(mask, dtype=np.float64)

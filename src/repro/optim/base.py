@@ -42,6 +42,9 @@ class Optimizer:
         self.lr = float(lr)
         self.weight_decay = float(weight_decay)
         self.state: dict[str, dict[str, np.ndarray]] = {}
+        # per-parameter scratch for fused in-place updates; deliberately
+        # *outside* ``self.state`` so checkpoints never carry it
+        self._scratch: dict[str, np.ndarray] = {}
         self.iteration = 0
         # layer-wise solvers (LARS/LAMB) deposit their λ per parameter here
         # while metrics are active; plain solvers apply no layer-wise
@@ -59,10 +62,11 @@ class Optimizer:
         for name, p in self.params:
             if p.grad is None:
                 continue
-            grad = p.grad
-            if self.weight_decay != 0.0:
-                grad = grad + self.weight_decay * p.data
-            p.data -= self._update(name, p, grad)
+            if not self._fused_step(name, p, p.grad):
+                grad = p.grad
+                if self.weight_decay != 0.0:
+                    grad = grad + self.weight_decay * p.data
+                p.data -= self._update(name, p, grad)
             if reg is not None:
                 lam = self._trust_ratios.get(name, 1.0)
                 reg.gauge(f"trust_ratio/{name}").set(lam)
@@ -76,6 +80,23 @@ class Optimizer:
 
     def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def _fused_step(self, name: str, p: Tensor, grad: np.ndarray) -> bool:
+        """Apply one parameter update in place; return ``True`` if handled.
+
+        The default declines, keeping the allocate-and-subtract reference
+        path.  The SGD family overrides this to run the fused in-place
+        kernels from :mod:`repro.tensor.fused` when fusion is enabled;
+        the update arithmetic (and therefore every checkpointed state
+        array) is bit-identical on both paths.
+        """
+        return False
+
+    def _get_scratch(self, name: str, p: Tensor, key: str = "") -> np.ndarray:
+        buf = self._scratch.get(name + key)
+        if buf is None:
+            buf = self._scratch[name + key] = np.empty_like(p.data)
+        return buf
 
     def _get_state(self, name: str, **arrays: np.ndarray) -> dict[str, np.ndarray]:
         if name not in self.state:

@@ -1,10 +1,20 @@
-"""SGD-family solvers: vanilla, heavy-ball momentum, Nesterov."""
+"""SGD-family solvers: vanilla, heavy-ball momentum, Nesterov.
+
+All three dispatch to the fused in-place update kernels in
+:mod:`repro.tensor.fused` when ``repro.tensor.use_fused`` is on: the step
+then writes parameters and momentum state through preallocated scratch
+buffers and allocates nothing.  The fused arithmetic only reorders
+commutative additions, so parameter/velocity trajectories — and therefore
+checkpoints — are bit-identical to the reference ``_update`` path (the
+parity suite asserts exact equality).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.optim.base import Optimizer
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 
@@ -13,6 +23,14 @@ class SGD(Optimizer):
 
     def _update(self, name: str, p: Tensor, grad: np.ndarray) -> np.ndarray:
         return self.lr * grad
+
+    def _fused_step(self, name: str, p: Tensor, grad: np.ndarray) -> bool:
+        if not fused.fused_enabled():
+            return False
+        fused.sgd_update(
+            p.data, grad, self.lr, self.weight_decay, self._get_scratch(name, p)
+        )
+        return True
 
 
 class Momentum(Optimizer):
@@ -34,6 +52,16 @@ class Momentum(Optimizer):
         st["v"] = self.momentum * st["v"] + grad
         return self.lr * st["v"]
 
+    def _fused_step(self, name: str, p: Tensor, grad: np.ndarray) -> bool:
+        if not fused.fused_enabled():
+            return False
+        st = self._get_state(name, v=np.zeros_like(p.data))
+        fused.momentum_update(
+            p.data, grad, st["v"], self.lr, self.momentum,
+            self.weight_decay, self._get_scratch(name, p),
+        )
+        return True
+
 
 class Nesterov(Momentum):
     """Nesterov accelerated gradient in the Sutskever et al. (2013) form:
@@ -45,3 +73,14 @@ class Nesterov(Momentum):
         st = self._get_state(name, v=np.zeros_like(p.data))
         st["v"] = self.momentum * st["v"] + grad
         return self.lr * (grad + self.momentum * st["v"])
+
+    def _fused_step(self, name: str, p: Tensor, grad: np.ndarray) -> bool:
+        if not fused.fused_enabled():
+            return False
+        st = self._get_state(name, v=np.zeros_like(p.data))
+        fused.nesterov_update(
+            p.data, grad, st["v"], self.lr, self.momentum,
+            self.weight_decay, self._get_scratch(name, p),
+            self._get_scratch(name, p, key="/2"),
+        )
+        return True

@@ -16,6 +16,12 @@ classic tape-free graph approach:
 
 Correctness of every op is established against central finite differences
 by :func:`repro.tensor.gradcheck.gradcheck` in the test suite.
+
+The hot paths (LSTM cell step, softmax cross-entropy, LayerNorm, SGD
+updates) additionally have fused single-node kernels in
+:mod:`repro.tensor.fused`, switched globally with :func:`use_fused` (or
+the ``REPRO_FUSED`` environment variable) and property-tested against
+the reference graphs in ``tests/test_fused_parity.py``.
 """
 
 from repro.tensor.tensor import (
@@ -43,7 +49,8 @@ from repro.tensor.nnops import (
     dropout_mask,
 )
 from repro.tensor.conv import conv2d, max_pool2d, avg_pool2d
-from repro.tensor.gradcheck import gradcheck, numeric_grad
+from repro.tensor.fused import use_fused, fused_enabled, fused_kernels
+from repro.tensor.gradcheck import gradcheck, numeric_grad, GradcheckReport
 
 __all__ = [
     "Tensor",
@@ -69,6 +76,10 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "use_fused",
+    "fused_enabled",
+    "fused_kernels",
     "gradcheck",
     "numeric_grad",
+    "GradcheckReport",
 ]

@@ -4,10 +4,18 @@
 in the test suite is checked against central differences.  The paper's
 Figure 3 analysis (:mod:`repro.analysis.lipschitz`) also builds on the same
 perturb-and-diff machinery, so keeping it exact here does double duty.
+
+``gradcheck`` returns a :class:`GradcheckReport` carrying the per-input
+maximum absolute and relative errors (always truthy, so the historical
+``assert gradcheck(...)`` idiom keeps working).  The fused-kernel parity
+suite uses those numbers directly: the fused LayerNorm backward, for
+example, is reported against an explicit relative tolerance rather than a
+one-size-fits-all atol.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,17 +48,48 @@ def numeric_grad(
     return grad.reshape(target.shape)
 
 
+@dataclass
+class GradcheckReport:
+    """Per-input error summary of one :func:`gradcheck` run.
+
+    ``max_abs_err`` / ``max_rel_err`` map the index of each checked input
+    (those with ``requires_grad``) to ``max |analytic - numeric|`` and to
+    the same deviation divided by ``max(|numeric|, 1)`` respectively.
+    Always truthy — a failed check raises instead of returning — so
+    ``assert gradcheck(...)`` remains a valid idiom.
+    """
+
+    max_abs_err: dict[int, float] = field(default_factory=dict)
+    max_rel_err: dict[int, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # report of a *passed* check
+        return True
+
+    @property
+    def worst_abs(self) -> float:
+        """The largest absolute error over all checked inputs (0 if none)."""
+        return max(self.max_abs_err.values(), default=0.0)
+
+    @property
+    def worst_rel(self) -> float:
+        """The largest relative error over all checked inputs (0 if none)."""
+        return max(self.max_rel_err.values(), default=0.0)
+
+
 def gradcheck(
     fn: Callable[..., Tensor],
     inputs: Sequence[Tensor],
     eps: float = 1e-6,
     atol: float = 1e-6,
     rtol: float = 1e-4,
-) -> bool:
-    """Assert analytic gradients of scalar ``fn`` match finite differences.
+) -> GradcheckReport:
+    """Check analytic gradients of scalar ``fn`` against finite differences.
 
-    Raises ``AssertionError`` with a diagnostic on mismatch; returns ``True``
-    otherwise so it can sit directly inside a test's ``assert``.
+    An input passes when ``|analytic - numeric| <= atol + rtol * |numeric|``
+    elementwise (the ``np.allclose`` contract, with ``rtol`` scaling by the
+    finite-difference magnitude).  Raises ``AssertionError`` with a
+    diagnostic naming the offending input on mismatch; otherwise returns a
+    :class:`GradcheckReport` with each input's max absolute/relative error.
     """
     inputs = list(inputs)
     for t in inputs:
@@ -59,15 +98,22 @@ def gradcheck(
     if out.size != 1:
         raise ValueError("gradcheck requires a scalar-valued function")
     out.backward()
+    report = GradcheckReport()
     for i, t in enumerate(inputs):
         if not t.requires_grad:
             continue
         analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
         numeric = numeric_grad(fn, inputs, i, eps=eps)
+        abs_err = np.abs(analytic - numeric)
+        max_abs = float(abs_err.max()) if abs_err.size else 0.0
+        scale = np.maximum(np.abs(numeric), 1.0)
+        max_rel = float((abs_err / scale).max()) if abs_err.size else 0.0
+        report.max_abs_err[i] = max_abs
+        report.max_rel_err[i] = max_rel
         if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.abs(analytic - numeric).max()
             raise AssertionError(
-                f"gradient mismatch on input {i}: max abs err {worst:.3e}\n"
+                f"gradient mismatch on input {i}: max abs err {max_abs:.3e}, "
+                f"max rel err {max_rel:.3e} (atol={atol:g}, rtol={rtol:g})\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
-    return True
+    return report

@@ -75,7 +75,18 @@ def cross_entropy(
     Returns a scalar tensor: the loss summed over unmasked positions and
     divided by the number of unmasked positions (i.e. a per-token mean,
     matching what TF's ``sparse_softmax_cross_entropy`` + mean does).
+
+    When fused kernels are enabled (``repro.tensor.use_fused``) this
+    dispatches to :func:`repro.tensor.fused.softmax_cross_entropy`, which
+    computes the same loss with an in-place backward; the parity suite
+    pins the two paths together.
     """
+    from repro.tensor import fused
+
+    if fused.fused_enabled():
+        return fused.softmax_cross_entropy(
+            logits, targets, mask=mask, label_smoothing=label_smoothing
+        )
     logits = as_tensor(logits)
     targets = np.asarray(targets, dtype=np.int64)
     num_classes = logits.shape[-1]

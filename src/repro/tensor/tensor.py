@@ -84,6 +84,20 @@ def _asarray(value) -> np.ndarray:
     return arr
 
 
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a plain array.
+
+    Shared by :meth:`Tensor.sigmoid` and the fused LSTM kernel so both
+    paths produce bit-identical forward values.
+    """
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ez = np.exp(x[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
 # --------------------------------------------------------------------------
 # Tensor
 # --------------------------------------------------------------------------
@@ -375,12 +389,7 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         a = self
-        # numerically stable logistic
-        out_data = np.empty_like(a.data)
-        pos = a.data >= 0
-        out_data[pos] = 1.0 / (1.0 + np.exp(-a.data[pos]))
-        ez = np.exp(a.data[~pos])
-        out_data[~pos] = ez / (1.0 + ez)
+        out_data = stable_sigmoid(a.data)
         return Tensor._make(
             out_data,
             (a,),

@@ -9,12 +9,12 @@ import pytest
 
 from repro.cli import main
 from repro.data import ArrayDataset, BatchIterator
-from repro.nn import Linear
+from repro.nn import LSTM, Linear
 from repro.obs import MetricsRegistry, Obs, activated
 from repro.optim import LAMB, LARS, SGD
 from repro.parallel import allreduce_mean
 from repro.schedules import ConstantLR
-from repro.tensor import Tensor, cross_entropy
+from repro.tensor import Tensor, cross_entropy, fused_kernels
 from repro.train import Trainer
 
 
@@ -156,6 +156,70 @@ class TestAllreduceMetrics:
             measured = allreduce_mean(buffers, algorithm="ring")
         for a, b in zip(plain, measured):
             np.testing.assert_array_equal(a, b)
+
+
+class TestFusedKernelProfile:
+    """Fused kernels must stay visible to the op profiler under stable
+    names, and must actually shrink the per-step graph."""
+
+    @staticmethod
+    def _profile_step(fused_flag):
+        with fused_kernels(fused_flag):
+            rng = np.random.default_rng(3)
+            lstm = LSTM(4, 6, num_layers=1, rng=0)
+            head = Linear(6, 3, rng=1)
+            x = rng.standard_normal((5, 2, 4))
+            y = rng.integers(0, 3, size=2)
+            prof = Obs(profile=True).profiler
+            prof.attach()
+            try:
+                out, _ = lstm(Tensor(x))
+                loss = cross_entropy(head(out[-1]), y)
+                loss.backward()
+            finally:
+                prof.detach()
+            return prof
+
+    def test_fused_ops_have_stable_profile_names(self):
+        prof = self._profile_step(True)
+        # the documented, checkpoint/tooling-stable label set
+        assert "fused_lstm_layer" in prof.forward
+        assert "fused_lstm_out" in prof.forward
+        assert "fused_softmax_xent" in prof.forward
+        # the layer kernel runs once per direction per layer...
+        assert prof.forward["fused_lstm_layer"].calls == 1
+        # ...and its single vjp fires on the backward pass
+        assert prof.backward["fused_lstm_layer"].calls == 1
+        assert prof.backward["fused_softmax_xent"].calls == 1
+
+    def test_reference_path_has_no_fused_ops(self):
+        prof = self._profile_step(False)
+        assert not any(op.startswith("fused_") for op in prof.forward)
+
+    def test_fused_graph_has_fewer_ops_per_step(self):
+        ref_nodes = sum(s.calls for s in self._profile_step(False).forward.values())
+        fus_nodes = sum(s.calls for s in self._profile_step(True).forward.values())
+        # T=5 reference steps build ~14 nodes each; fused builds ~4 per
+        # layer plus the loss/head handful
+        assert fus_nodes < ref_nodes / 3
+
+    def test_fused_cell_label_on_masked_fallback(self):
+        """Ragged batches fall back to per-step fused cells — still
+        profiled under their own stable name."""
+        with fused_kernels(True):
+            rng = np.random.default_rng(4)
+            lstm = LSTM(4, 6, num_layers=1, rng=0)
+            x = rng.standard_normal((5, 2, 4))
+            mask = np.ones((5, 2))
+            mask[3:, 0] = 0.0
+            prof = Obs(profile=True).profiler
+            prof.attach()
+            try:
+                out, _ = lstm(Tensor(x), mask=mask)
+            finally:
+                prof.detach()
+        assert prof.forward["fused_lstm_cell"].calls == 5
+        assert "fused_lstm_layer" not in prof.forward
 
 
 class TestCliObservability:
