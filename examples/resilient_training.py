@@ -115,10 +115,10 @@ def main() -> None:
     print(f"rollback recoveries    : {int(faulty.final_metrics['recoveries'])}")
 
     print()
-    print("obs counters (what a metrics export would show):")
-    for name in sorted(obs.metrics.names()):
-        if name.startswith(("parallel/", "resilience/")):
-            print(f"  {name:30s} {obs.metrics.counter(name).value:g}")
+    print("obs counters/gauges (what a metrics export would show):")
+    for snap in sorted(obs.metrics.snapshot(), key=lambda s: s["name"]):
+        if snap["name"].startswith(("parallel/", "resilience/")):
+            print(f"  {snap['name']:34s} {snap.get('value', 0.0):g}")
 
     gap = abs(fault_acc - clean_acc)
     print()

@@ -23,6 +23,12 @@ to pick between the fused hot-path kernels and the reference engine; with
 neither flag the ``REPRO_FUSED`` environment setting (default: reference)
 applies.
 
+``train`` accepts the data-parallel flags (docs/parallel.md): ``--workers P``
+shards every batch across ``P`` simulated workers with gradients reduced
+through the bucketed all-reduce, ``--allreduce-algo`` picks the schedule
+(ring/tree/naive), and ``--bucket-mb`` sizes the gradient buckets (``0``
+for the monolithic baseline).
+
 ``train`` additionally accepts the resilience flags (docs/resilience.md):
 ``--checkpoint-dir DIR`` switches to fault-tolerant training with
 hardened per-epoch checkpoints and divergence rollback, ``--resume``
@@ -41,6 +47,8 @@ from typing import Sequence
 from repro.experiments import build_workload, run_experiment, score_of
 from repro.experiments.registry import EXPERIMENTS
 from repro.obs import Obs
+from repro.parallel.allreduce import ALGORITHMS
+from repro.parallel.buckets import DEFAULT_BUCKET_MB
 from repro.tensor.fused import use_fused
 from repro.utils.ascii_plot import line_chart
 
@@ -140,6 +148,25 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--warmup-epochs", type=float, default=0.0)
     tr.add_argument("--epochs", type=int, default=None)
     tr.add_argument("--seed", type=int, default=0)
+    par = tr.add_argument_group(
+        "data parallelism",
+        "simulated data-parallel training (see docs/parallel.md); "
+        "activated by --workers",
+    )
+    par.add_argument(
+        "--workers", type=int, default=None, metavar="P",
+        help="shard every batch across P simulated workers and reduce "
+             "gradients through the bucketed all-reduce",
+    )
+    par.add_argument(
+        "--allreduce-algo", default="ring", choices=ALGORITHMS,
+        help="all-reduce schedule for the gradient reduction (default ring)",
+    )
+    par.add_argument(
+        "--bucket-mb", type=float, default=DEFAULT_BUCKET_MB, metavar="MB",
+        help=f"gradient bucket capacity in MiB (default {DEFAULT_BUCKET_MB}; "
+             "0 selects the monolithic single-buffer reduction)",
+    )
     res = tr.add_argument_group(
         "resilience",
         "fault-tolerant training (see docs/resilience.md); activated by "
@@ -246,9 +273,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.fault_rate and args.checkpoint_dir is None:
         print("--fault-rate requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.workers is not None:
+        if args.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+        if args.checkpoint_dir is not None:
+            print(
+                "--workers cannot be combined with --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 2
     obs = _build_obs(args)
 
     def train(obs=None):
+        if args.workers is not None:
+            return wl.run_parallel(
+                batch, schedule, workers=args.workers,
+                algorithm=args.allreduce_algo,
+                bucket_mb=args.bucket_mb if args.bucket_mb > 0 else None,
+                seed=args.seed, epochs=args.epochs, obs=obs,
+            )
         if args.checkpoint_dir is not None:
             return wl.run_resilient(
                 batch, schedule, checkpoint_dir=args.checkpoint_dir,
@@ -270,6 +314,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"{args.workload} @ batch {batch} "
         f"(paper {wl.paper_batch(batch)}): {wl.metric} = {score:.4g} [{status}]"
     )
+    if args.workers is not None:
+        overlap = result.final_metrics.get("overlap_fraction")
+        extra = (
+            f", {overlap:.0%} of comm hidden under backward"
+            if overlap is not None
+            else ""
+        )
+        print(
+            f"parallel: {args.workers} workers, {args.allreduce_algo} "
+            f"all-reduce{extra}"
+        )
     if args.checkpoint_dir is not None:
         faults = int(result.final_metrics.get("faults_detected", 0))
         recoveries = int(result.final_metrics.get("recoveries", 0))

@@ -6,13 +6,21 @@ all-reduce time for ring / tree / naive algorithms across worker counts
 (α-β model), plus the end-to-end epoch time each implies for a
 GNMT-sized gradient — showing ring's bandwidth-optimality is what keeps
 the large-batch speedups intact at scale.
+
+A second table sweeps the gradient *bucket* size for the same model:
+packing the gradient into fixed-size buckets reduced back-to-front lets
+communication overlap the rest of the backward pass, so the exposed comm
+(and hence step time) shrinks as buckets get smaller — until per-bucket
+latency dominates.  Results land under the ``bucket_*`` keys.
 """
 
 from __future__ import annotations
 
 from repro.parallel import (
     APP_DEVICE_MODELS,
+    BACKWARD_FRACTION,
     CommModel,
+    GradientBuckets,
     epoch_time,
     naive_time,
     ring_time,
@@ -22,6 +30,53 @@ from repro.utils.tables import Table
 
 WORKER_COUNTS = (2, 4, 8, 16, 32, 64)
 GRAD_BYTES = 4 * 65_000_000  # fp32 GNMT-scale gradient (~65M params)
+BUCKET_MBS = (1.0, 5.0, 25.0, 100.0)
+OVERLAP_WORKERS = 16
+# the ~65M fp32 parameters as ~256 homogeneous layer-sized blocks, the
+# granularity bucket planning operates at
+_N_BLOCKS = 256
+_BLOCK = GRAD_BYTES // 4 // _N_BLOCKS
+
+
+def _bucket_sweep(comm: CommModel, backward: float) -> tuple[Table, dict]:
+    table = Table(
+        f"Ablation: bucket size vs exposed comm "
+        f"(ring, {OVERLAP_WORKERS} workers, alpha-beta model)",
+        [
+            "bucket (MiB)",
+            "buckets",
+            "exposed comm (s)",
+            "overlap frac",
+            "step (s)",
+            "monolithic step (s)",
+        ],
+    )
+    params = [((_BLOCK,), "float32")] * _N_BLOCKS
+    sweep: dict[str, list[float]] = {
+        "bucket_mb": [], "exposed_s": [], "overlap_fraction": [], "step_s": [],
+    }
+    monolithic_step = None
+    for mb in BUCKET_MBS:
+        plan = GradientBuckets(params, bucket_mb=mb)
+        tl = plan.simulate_overlap(
+            OVERLAP_WORKERS, backward, algorithm="ring", comm=comm
+        )
+        monolithic_step = tl.monolithic_step_time
+        sweep["bucket_mb"].append(mb)
+        sweep["exposed_s"].append(tl.exposed_comm)
+        sweep["overlap_fraction"].append(tl.overlap_fraction)
+        sweep["step_s"].append(tl.step_time)
+        table.add_row(
+            [
+                mb,
+                plan.num_buckets,
+                tl.exposed_comm,
+                tl.overlap_fraction,
+                tl.step_time,
+                tl.monolithic_step_time,
+            ]
+        )
+    return table, {"bucket_sweep": sweep, "monolithic_step_s": monolithic_step}
 
 
 def run(preset: str = "smoke", seed: int = 0) -> dict:
@@ -56,11 +111,17 @@ def run(preset: str = "smoke", seed: int = 0) -> dict:
             comm=comm, algorithm="naive",
         )
         table.add_row([p, r, t, n, ep_ring, ep_naive])
+    # backward window of one iteration at the shard batch the epoch model
+    # uses, in the device model's time units
+    backward = model.iteration_time(4096 // OVERLAP_WORKERS) * BACKWARD_FRACTION
+    bucket_table, bucket_out = _bucket_sweep(comm, backward)
     return {
         "workers": list(WORKER_COUNTS),
         "series": series,
         "rows": table.to_dicts(),
-        "text": table.render(),
+        "bucket_rows": bucket_table.to_dicts(),
+        **bucket_out,
+        "text": table.render() + "\n\n" + bucket_table.render(),
     }
 
 

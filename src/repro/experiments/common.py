@@ -48,6 +48,8 @@ from repro.schedules import (
     linear_scaled_lr,
     sqrt_scaled_lr,
 )
+from repro.parallel.buckets import DEFAULT_BUCKET_MB
+from repro.parallel.cluster import SimCluster
 from repro.parallel.faults import LossFaultInjector
 from repro.train import ResilientTrainer, Trainer, TrainResult
 
@@ -172,6 +174,56 @@ class Workload:
             obs=obs,
         )
         return trainer.run(epochs if epochs is not None else self.epochs)
+
+    def run_parallel(
+        self,
+        batch: int,
+        schedule: Schedule,
+        *,
+        workers: int,
+        algorithm: str = "ring",
+        bucket_mb: float | None = DEFAULT_BUCKET_MB,
+        solver: str | None = None,
+        seed: int = 0,
+        epochs: int | None = None,
+        obs=None,
+    ) -> TrainResult:
+        """Train through a simulated ``workers``-way data-parallel cluster.
+
+        Same construction as :meth:`run`, but every batch is sharded
+        across a :class:`~repro.parallel.cluster.SimCluster` and the
+        gradient comes back through the bucketed all-reduce — numerically
+        the run matches :meth:`run` to round-off (the data-parallel
+        equivalence the test suite pins down), while exercising the real
+        sharding/reduction machinery and recording the
+        ``allreduce/<algo>/*`` and ``parallel/overlap/*`` metrics.
+        """
+        model = self.make_model(seed)
+        train_iter = self.make_train_iter(batch, seed + 1)
+        optimizer = self.make_optimizer(model, solver)
+        cluster = SimCluster(
+            list(model.parameters()),
+            model.loss,
+            workers,
+            algorithm=algorithm,
+            bucket_mb=bucket_mb,
+        )
+        trainer = Trainer(
+            cluster.as_loss_fn(),
+            optimizer,
+            schedule,
+            train_iter,
+            eval_fn=self.make_eval_fn(model),
+            grad_clip=self.grad_clip,
+            obs=obs,
+        )
+        result = trainer.run(epochs if epochs is not None else self.epochs)
+        result.final_metrics.setdefault("workers", float(workers))
+        if cluster.last_timeline is not None:
+            result.final_metrics.setdefault(
+                "overlap_fraction", cluster.last_timeline.overlap_fraction
+            )
+        return result
 
     def run_resilient(
         self,

@@ -13,16 +13,38 @@ we rebuild the two ingredients:
   (:mod:`repro.parallel.cost`, :mod:`repro.parallel.perfmodel`) that turns
   batch sizes into wall-clock estimates, calibrated per application to the
   hardware numbers the paper reports (DESIGN.md §2) — this regenerates the
-  Figure 4 speedup bars and the 5.3× average.
+  Figure 4 speedup bars and the 5.3× average;
+* **DDP-style gradient buckets** (:mod:`repro.parallel.buckets`) — packing
+  parameters into fixed-size dtype-true buckets in backward-completion
+  order, reducing bucket-by-bucket with bounded transient memory, and
+  simulating the comm/compute overlap timeline under the α-β model;
+* **real multiprocess workers** (:mod:`repro.parallel.mp`) — persistent
+  OS-process replicas fed parameter deltas, with fault tolerance, sharing
+  the same bucketed reduction (docs/parallel.md).
 """
 
 from repro.parallel.allreduce import (
+    ALGORITHMS,
     ring_allreduce,
     tree_allreduce,
     naive_allreduce,
     allreduce_mean,
+    allreduce_mean_single,
 )
-from repro.parallel.cost import CommModel, ring_time, tree_time, naive_time
+from repro.parallel.buckets import (
+    BACKWARD_FRACTION,
+    DEFAULT_BUCKET_MB,
+    BucketTiming,
+    GradientBuckets,
+    OverlapTimeline,
+)
+from repro.parallel.cost import (
+    CommModel,
+    allreduce_time,
+    ring_time,
+    tree_time,
+    naive_time,
+)
 from repro.parallel.cluster import SimCluster, shard_batch
 from repro.parallel.faults import (
     FaultSpec,
@@ -39,11 +61,19 @@ __all__ = [
     "LossFaultInjector",
     "WorkerCrashError",
     "WorkerFaultError",
+    "ALGORITHMS",
     "ring_allreduce",
     "tree_allreduce",
     "naive_allreduce",
     "allreduce_mean",
+    "allreduce_mean_single",
+    "BACKWARD_FRACTION",
+    "DEFAULT_BUCKET_MB",
+    "BucketTiming",
+    "GradientBuckets",
+    "OverlapTimeline",
     "CommModel",
+    "allreduce_time",
     "ring_time",
     "tree_time",
     "naive_time",

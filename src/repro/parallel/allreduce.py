@@ -1,6 +1,6 @@
 """All-reduce collectives, simulated numerically over per-worker buffers.
 
-Each algorithm takes ``buffers`` — one 1-D float array per worker — and
+Each algorithm takes ``buffers`` — one 1-D array per worker — and
 returns the list of per-worker results, every one equal to the elementwise
 sum (bit-for-bit identical across workers, like a real deterministic
 all-reduce).  The implementations follow the classic communication
@@ -10,12 +10,23 @@ halving/doubling; gather-to-root + broadcast) rather than calling
 schedules, and the ablation bench can relate algorithm structure to the
 cost model's predictions.
 
+Dtype contract: the result dtype is the NumPy promotion of the input
+buffers' dtypes (identical buffers round-trip their dtype exactly).
+Accumulation happens in float64 internally for numerical stability, but
+the returned arrays are cast back — a float32 gradient all-reduce returns
+float32, like a real fp32 collective.
+
+For gradient averaging the clusters use :func:`allreduce_mean_single`,
+which runs the same schedule but materialises only one result array
+instead of ``p`` identical replicas (a synchronous parent installing one
+averaged gradient has no use for the other ``p − 1`` copies).
+
 When an observability metrics registry is active (see
 :mod:`repro.obs.metrics`), every call records per-algorithm counters:
 ``allreduce/<algo>/calls``, ``allreduce/<algo>/rounds`` (sequential
 communication steps of the schedule) and ``allreduce/<algo>/bytes``
-(total float64 payload moved across all workers).  With no registry
-active the accounting is skipped entirely.
+(total payload moved across all workers, in the buffers' own dtype).
+With no registry active the accounting is skipped entirely.
 """
 
 from __future__ import annotations
@@ -34,30 +45,18 @@ def _record(algo: str, rounds: int, bytes_moved: float) -> None:
     reg.counter(f"allreduce/{algo}/bytes").inc(bytes_moved)
 
 
-def _validate(buffers: list[np.ndarray]) -> tuple[int, int]:
+def _validate(buffers: list[np.ndarray]) -> tuple[int, int, np.dtype]:
     if not buffers:
         raise ValueError("need at least one worker buffer")
     n = buffers[0].size
     for b in buffers:
         if b.ndim != 1 or b.size != n:
             raise ValueError("all buffers must be 1-D and equally sized")
-    return len(buffers), n
+    return len(buffers), n, np.result_type(*buffers)
 
 
-def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
-    """Ring all-reduce: reduce-scatter then all-gather, 2(p−1) rounds.
-
-    Each worker ends with the exact elementwise sum.  Chunk ``i`` is
-    finalised on worker ``(i+1) mod p`` after the reduce-scatter phase, as
-    in the Baidu/Horovod ring.
-    """
-    p, n = _validate(buffers)
-    if p == 1:
-        _record("ring", 0, 0)
-        return [buffers[0].copy()]
-    # each of the 2(p-1) rounds circulates every chunk index exactly once,
-    # i.e. n elements of float64 payload per round across the ring
-    _record("ring", 2 * (p - 1), 2 * (p - 1) * n * 8)
+def _ring_chunks(buffers: list[np.ndarray], p: int) -> list[list[np.ndarray]]:
+    """Run the ring schedule; returns each worker's finalised chunk list."""
     chunks = [np.array_split(b.astype(np.float64).copy(), p) for b in buffers]
     # reduce-scatter: at step s, worker w sends chunk (w - s) to worker w+1
     for step in range(p - 1):
@@ -77,29 +76,35 @@ def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
             transfers.append((dst, src_chunk, chunks[w][src_chunk]))
         for dst, c, data in transfers:
             chunks[dst][c] = data.copy()
-    return [np.concatenate(chunks[w]) for w in range(p)]
+    return chunks
 
 
-def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
-    """Recursive-doubling all-reduce (power-of-two worker counts).
+def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Ring all-reduce: reduce-scatter then all-gather, 2(p−1) rounds.
 
-    ``log2(p)`` rounds; in round ``s`` worker ``w`` exchanges its full
-    buffer with partner ``w XOR 2^s`` and both add.  Non-power-of-two
-    counts fall back to a pre-reduction of the excess workers onto the
-    leading power-of-two block, then a broadcast back.
+    Each worker ends with the exact elementwise sum.  Chunk ``i`` is
+    finalised on worker ``(i+1) mod p`` after the reduce-scatter phase, as
+    in the Baidu/Horovod ring.
     """
-    p, n = _validate(buffers)
+    p, n, dtype = _validate(buffers)
+    if p == 1:
+        _record("ring", 0, 0)
+        return [buffers[0].copy()]
+    # each of the 2(p-1) rounds circulates every chunk index exactly once,
+    # i.e. n elements of payload per round across the ring
+    _record("ring", 2 * (p - 1), 2 * (p - 1) * n * dtype.itemsize)
+    chunks = _ring_chunks(buffers, p)
+    return [
+        np.concatenate(chunks[w]).astype(dtype, copy=False) for w in range(p)
+    ]
+
+
+def _tree_work(buffers: list[np.ndarray], p: int) -> list[np.ndarray]:
+    """Run the recursive-doubling schedule; returns per-worker results."""
     work = [b.astype(np.float64).copy() for b in buffers]
     pow2 = 1
     while pow2 * 2 <= p:
         pow2 *= 2
-    exchange_rounds = pow2.bit_length() - 1  # log2(pow2)
-    fold_rounds = 2 if p != pow2 else 0  # pre-fold + final broadcast
-    _record(
-        "tree",
-        exchange_rounds + fold_rounds,
-        (exchange_rounds * pow2 * n + 2 * (p - pow2) * n) * 8,
-    )
     # fold excess workers into the first block
     for extra in range(pow2, p):
         work[extra - pow2] = work[extra - pow2] + work[extra]
@@ -116,28 +121,101 @@ def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
     return work
 
 
+def tree_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Recursive-doubling all-reduce (power-of-two worker counts).
+
+    ``log2(p)`` rounds; in round ``s`` worker ``w`` exchanges its full
+    buffer with partner ``w XOR 2^s`` and both add.  Non-power-of-two
+    counts fall back to a pre-reduction of the excess workers onto the
+    leading power-of-two block, then a broadcast back.
+    """
+    p, n, dtype = _validate(buffers)
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    exchange_rounds = pow2.bit_length() - 1  # log2(pow2)
+    fold_rounds = 2 if p != pow2 else 0  # pre-fold + final broadcast
+    _record(
+        "tree",
+        exchange_rounds + fold_rounds,
+        (exchange_rounds * pow2 * n + 2 * (p - pow2) * n) * dtype.itemsize,
+    )
+    work = _tree_work(buffers, p)
+    return [w.astype(dtype, copy=False) for w in work]
+
+
 def naive_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
     """Gather-to-root + broadcast — the O(p·n) strawman baseline."""
-    p, n = _validate(buffers)
+    p, n, dtype = _validate(buffers)
     # one gather round and one broadcast round, each moving (p-1)·n values
-    _record("naive", 2 if p > 1 else 0, 2 * (p - 1) * n * 8)
+    _record("naive", 2 if p > 1 else 0, 2 * (p - 1) * n * dtype.itemsize)
     root = buffers[0].astype(np.float64).copy()
     for b in buffers[1:]:
         root = root + b
+    root = root.astype(dtype, copy=False)
     return [root.copy() for _ in range(p)]
+
+
+_ALGORITHMS = {
+    "ring": ring_allreduce,
+    "tree": tree_allreduce,
+    "naive": naive_allreduce,
+}
+
+ALGORITHMS: tuple[str, ...] = tuple(_ALGORITHMS)
+
+
+def _check_algorithm(algorithm: str) -> None:
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
 def allreduce_mean(
     buffers: list[np.ndarray], algorithm: str = "ring"
 ) -> list[np.ndarray]:
     """All-reduce then divide by the worker count (gradient averaging)."""
-    algos = {
-        "ring": ring_allreduce,
-        "tree": tree_allreduce,
-        "naive": naive_allreduce,
-    }
-    if algorithm not in algos:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-    summed = algos[algorithm](buffers)
+    _check_algorithm(algorithm)
+    summed = _ALGORITHMS[algorithm](buffers)
     p = len(buffers)
     return [s / p for s in summed]
+
+
+def allreduce_mean_single(
+    buffers: list[np.ndarray], algorithm: str = "ring"
+) -> np.ndarray:
+    """Like :func:`allreduce_mean`, but materialise only worker 0's result.
+
+    Runs the identical communication schedule (same rounds/bytes counters,
+    same floating-point association, so the value is bit-identical to
+    ``allreduce_mean(...)[0]``), but skips building the ``p − 1`` replica
+    arrays every synchronous-parent caller immediately discards.
+    """
+    _check_algorithm(algorithm)
+    p, n, dtype = _validate(buffers)
+    if algorithm == "ring":
+        if p == 1:
+            summed = buffers[0].copy()
+            _record("ring", 0, 0)
+        else:
+            _record("ring", 2 * (p - 1), 2 * (p - 1) * n * dtype.itemsize)
+            chunks = _ring_chunks(buffers, p)
+            summed = np.concatenate(chunks[0]).astype(dtype, copy=False)
+    elif algorithm == "tree":
+        pow2 = 1
+        while pow2 * 2 <= p:
+            pow2 *= 2
+        exchange_rounds = pow2.bit_length() - 1
+        fold_rounds = 2 if p != pow2 else 0
+        _record(
+            "tree",
+            exchange_rounds + fold_rounds,
+            (exchange_rounds * pow2 * n + 2 * (p - pow2) * n) * dtype.itemsize,
+        )
+        summed = _tree_work(buffers, p)[0].astype(dtype, copy=False)
+    else:  # naive
+        _record("naive", 2 if p > 1 else 0, 2 * (p - 1) * n * dtype.itemsize)
+        root = buffers[0].astype(np.float64).copy()
+        for b in buffers[1:]:
+            root = root + b
+        summed = root.astype(dtype, copy=False)
+    return summed / p

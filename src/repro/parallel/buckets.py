@@ -1,0 +1,345 @@
+"""Bucketed gradient all-reduce with a simulated comm/compute overlap model.
+
+Real data-parallel frameworks (Horovod, PyTorch DDP) never all-reduce the
+model gradient as one monolithic buffer: they pack parameters into
+fixed-size *buckets* and launch each bucket's all-reduce as soon as its
+gradients are produced by the backward pass, hiding communication under
+the remaining backward compute.  This module rebuilds both halves of that
+design offline:
+
+* :class:`GradientBuckets` — a planner that packs parameters into
+  ~``bucket_mb`` MiB flat buckets in **reverse registration order** (the
+  order backward completes them: the last-registered parameters get their
+  gradients first), dtype-homogeneous per bucket so an fp32 gradient never
+  silently travels as fp64.  ``pack``/``unpack`` move per-parameter
+  gradients into and out of the flat buffers (zero-copy views where a
+  bucket holds a single contiguous parameter), and ``reduce_packed``
+  reduces bucket-by-bucket through the
+  :mod:`~repro.parallel.allreduce` schedules, freeing each worker's bucket
+  buffer as soon as it is consumed — so the reduction's transient working
+  set is bounded by the *largest bucket*, not the whole model.
+
+* :meth:`GradientBuckets.simulate_overlap` — a per-step timeline under the
+  α-β communication model (:mod:`repro.parallel.cost`): bucket ``i``'s
+  all-reduce may start once its share of the backward pass has completed
+  *and* the previous bucket's all-reduce has finished (one in-flight
+  collective, as on a real interconnect), so the exposed communication
+  time is whatever spills past the end of backward.  The resulting
+  :class:`OverlapTimeline` reports total/hidden/exposed comm, the overlap
+  fraction, and the step time next to the monolithic baseline (all comm
+  exposed after backward).
+
+When a metrics registry is active, ``reduce_packed`` increments
+``parallel/buckets/reduced`` / ``parallel/buckets/bytes`` counters and
+:meth:`OverlapTimeline.record` sets the ``parallel/overlap/*`` gauges —
+see docs/parallel.md for the full counter contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs.metrics import get_active
+from repro.parallel.allreduce import allreduce_mean_single
+from repro.parallel.cost import CommModel, allreduce_time
+
+__all__ = [
+    "DEFAULT_BUCKET_MB",
+    "BACKWARD_FRACTION",
+    "BucketSlot",
+    "Bucket",
+    "GradientBuckets",
+    "BucketTiming",
+    "OverlapTimeline",
+]
+
+DEFAULT_BUCKET_MB = 25.0
+# Share of an iteration spent in backward (the classic ~2x-forward rule of
+# thumb for LSTM stacks); used to turn a device-model iteration time into
+# the backward window communication can hide under.
+BACKWARD_FRACTION = 2.0 / 3.0
+
+
+@dataclass(frozen=True)
+class BucketSlot:
+    """One parameter's place inside a bucket's flat buffer."""
+
+    param: int  # index into the planner's parameter list
+    offset: int  # start offset in the bucket buffer, in elements
+    size: int
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A dtype-homogeneous flat buffer covering one or more parameters."""
+
+    index: int
+    slots: tuple[BucketSlot, ...]
+    dtype: np.dtype
+    size: int  # total elements
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+def _param_spec(param) -> tuple[tuple[int, ...], np.dtype]:
+    """Extract ``(shape, dtype)`` from a Tensor, ndarray, or explicit pair."""
+    if isinstance(param, np.ndarray):
+        return tuple(param.shape), param.dtype
+    data = getattr(param, "data", None)  # Tensor-likes carry .data
+    if isinstance(data, np.ndarray):
+        return tuple(data.shape), data.dtype
+    shape, dtype = param
+    return tuple(int(s) for s in shape), np.dtype(dtype)
+
+
+class GradientBuckets:
+    """Pack parameters into ~``bucket_mb`` MiB all-reduce buckets.
+
+    Parameters
+    ----------
+    params:
+        The model's parameters in **registration order** — Tensors,
+        ndarrays, or ``(shape, dtype)`` pairs (the latter lets cost-model
+        studies plan buckets for hypothetical models without allocating
+        them).
+    bucket_mb:
+        Target bucket capacity in MiB.  A single parameter larger than the
+        cap still gets its own bucket (buckets never split a parameter);
+        parameters of different dtypes never share a bucket.
+    """
+
+    def __init__(self, params: Sequence, bucket_mb: float = DEFAULT_BUCKET_MB):
+        if bucket_mb <= 0:
+            raise ValueError("bucket_mb must be positive")
+        specs = [_param_spec(p) for p in params]
+        if not specs:
+            raise ValueError("need at least one parameter to bucket")
+        self.bucket_mb = float(bucket_mb)
+        self.n_params = len(specs)
+        cap_bytes = bucket_mb * 2**20
+
+        # reverse registration order == backward-completion order: the
+        # gradients of the last-registered parameters are produced first,
+        # so their bucket can start reducing earliest.
+        buckets: list[Bucket] = []
+        slots: list[BucketSlot] = []
+        offset = 0
+        dtype: np.dtype | None = None
+
+        def flush() -> None:
+            nonlocal slots, offset, dtype
+            if slots:
+                buckets.append(
+                    Bucket(len(buckets), tuple(slots), dtype, offset)
+                )
+            slots, offset, dtype = [], 0, None
+
+        for idx in reversed(range(self.n_params)):
+            shape, dt = specs[idx]
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            nbytes = size * dt.itemsize
+            if slots and (
+                dt != dtype or (offset * dtype.itemsize) + nbytes > cap_bytes
+            ):
+                flush()
+            dtype = dt
+            slots.append(BucketSlot(idx, offset, size, shape))
+            offset += size
+        flush()
+
+        self.buckets: tuple[Bucket, ...] = tuple(buckets)
+        self.total_elems = sum(b.size for b in self.buckets)
+        self.total_bytes = sum(b.nbytes for b in self.buckets)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def max_bucket_bytes(self) -> int:
+        return max(b.nbytes for b in self.buckets)
+
+    def reduce_peak_bytes(self, p: int) -> int:
+        """Transient float64 working bytes of :meth:`reduce_packed`.
+
+        The schedule copies ``p`` worker buffers plus one result, but only
+        for one bucket at a time — the bound is the *largest* bucket.
+        """
+        largest = max(b.size for b in self.buckets)
+        return (p + 1) * largest * 8
+
+    def monolithic_peak_bytes(self, p: int) -> int:
+        """The same bound for a single whole-model all-reduce."""
+        return (p + 1) * self.total_elems * 8
+
+    # -- pack / unpack ------------------------------------------------------
+
+    def pack(self, grads: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Flatten per-parameter gradients into per-bucket buffers.
+
+        ``grads`` is aligned with the constructor's parameter list.  A
+        bucket holding exactly one parameter is returned as a zero-copy
+        view whenever the gradient is contiguous and already in the
+        bucket's dtype; multi-parameter buckets are copied into one flat
+        array (that copy is the packing cost real frameworks pay too).
+        """
+        if len(grads) != self.n_params:
+            raise ValueError(
+                f"expected {self.n_params} gradients, got {len(grads)}"
+            )
+        out: list[np.ndarray] = []
+        for b in self.buckets:
+            if len(b.slots) == 1:
+                g = np.asarray(grads[b.slots[0].param], dtype=b.dtype)
+                out.append(g.reshape(-1))  # view when g is contiguous
+                continue
+            buf = np.empty(b.size, dtype=b.dtype)
+            for s in b.slots:
+                buf[s.offset : s.offset + s.size] = np.asarray(
+                    grads[s.param], dtype=b.dtype
+                ).reshape(-1)
+            out.append(buf)
+        return out
+
+    def unpack(self, bucket_buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Per-parameter views into the bucket buffers (registration order)."""
+        if len(bucket_buffers) != len(self.buckets):
+            raise ValueError(
+                f"expected {len(self.buckets)} buffers, got {len(bucket_buffers)}"
+            )
+        out: list[np.ndarray | None] = [None] * self.n_params
+        for b, buf in zip(self.buckets, bucket_buffers):
+            for s in b.slots:
+                out[s.param] = buf[s.offset : s.offset + s.size].reshape(s.shape)
+        return out  # type: ignore[return-value]
+
+    # -- reduction ----------------------------------------------------------
+
+    def reduce_packed(
+        self,
+        worker_buckets: Sequence[list[np.ndarray]],
+        algorithm: str = "ring",
+    ) -> list[np.ndarray]:
+        """Mean-reduce per-worker packed buckets, bucket by bucket.
+
+        ``worker_buckets`` is one :meth:`pack` result per worker; each
+        bucket entry is set to ``None`` as soon as it has been reduced, so
+        peak transient memory is bounded by one bucket's schedule (see
+        :meth:`reduce_peak_bytes`).  Returns per-parameter averaged
+        gradients in registration order.
+        """
+        reg = get_active()
+        reduced: list[np.ndarray] = []
+        for j, bucket in enumerate(self.buckets):
+            buffers = [wb[j] for wb in worker_buckets]
+            reduced.append(allreduce_mean_single(buffers, algorithm=algorithm))
+            for wb in worker_buckets:
+                wb[j] = None  # type: ignore[call-overload]
+        if reg is not None:
+            reg.counter("parallel/buckets/reduced").inc(len(self.buckets))
+            reg.counter("parallel/buckets/bytes").inc(self.total_bytes)
+        return self.unpack(reduced)
+
+    # -- the overlap timeline ----------------------------------------------
+
+    def simulate_overlap(
+        self,
+        p: int,
+        backward_time: float,
+        algorithm: str = "ring",
+        comm: CommModel | None = None,
+    ) -> "OverlapTimeline":
+        """Simulated step timeline for ``p`` workers under the α-β model.
+
+        Bucket ``i`` becomes ready once its share of backward has run
+        (backward work is apportioned by element count, the standard
+        proxy); its all-reduce starts at
+        ``max(ready_i, end of bucket i−1's all-reduce)`` — one collective
+        in flight at a time — and whatever communication extends past the
+        end of backward is *exposed* (on the step's critical path).
+        """
+        if p < 1:
+            raise ValueError("worker count must be >= 1")
+        if backward_time < 0:
+            raise ValueError("backward_time must be >= 0")
+        comm = comm or CommModel()
+        timings: list[BucketTiming] = []
+        cum = 0
+        prev_end = 0.0
+        for b in self.buckets:
+            cum += b.size
+            ready = backward_time * (cum / self.total_elems)
+            cost = allreduce_time(b.nbytes, p, comm, algorithm)
+            start = max(ready, prev_end)
+            end = start + cost
+            timings.append(
+                BucketTiming(
+                    index=b.index, nbytes=b.nbytes, ready=ready,
+                    start=start, end=end, comm=cost,
+                )
+            )
+            prev_end = end
+        total_comm = sum(t.comm for t in timings)
+        exposed = min(total_comm, max(0.0, prev_end - backward_time))
+        return OverlapTimeline(
+            backward_time=backward_time,
+            buckets=tuple(timings),
+            total_comm=total_comm,
+            exposed_comm=exposed,
+            step_time=max(backward_time, prev_end),
+            monolithic_step_time=backward_time
+            + allreduce_time(self.total_bytes, p, comm, algorithm),
+        )
+
+
+@dataclass(frozen=True)
+class BucketTiming:
+    """One bucket's simulated schedule within a step."""
+
+    index: int
+    nbytes: int
+    ready: float  # backward completion time of the bucket's gradients
+    start: float  # all-reduce launch
+    end: float  # all-reduce completion
+    comm: float  # all-reduce duration
+
+
+@dataclass(frozen=True)
+class OverlapTimeline:
+    """Simulated per-step timeline of a bucketed, overlapped all-reduce."""
+
+    backward_time: float
+    buckets: tuple[BucketTiming, ...]
+    total_comm: float
+    exposed_comm: float  # communication on the critical path
+    step_time: float  # max(backward end, last all-reduce end)
+    monolithic_step_time: float  # backward + one whole-model all-reduce
+
+    @property
+    def hidden_comm(self) -> float:
+        return self.total_comm - self.exposed_comm
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of communication hidden under backward (1.0 when free)."""
+        if self.total_comm <= 0.0:
+            return 1.0
+        return self.hidden_comm / self.total_comm
+
+    def record(self, reg) -> None:
+        """Set the ``parallel/overlap/*`` gauges on a metrics registry."""
+        reg.gauge("parallel/overlap/fraction").set(self.overlap_fraction)
+        reg.gauge("parallel/overlap/comm_s").set(self.total_comm)
+        reg.gauge("parallel/overlap/exposed_s").set(self.exposed_comm)
+        reg.gauge("parallel/overlap/step_s").set(self.step_time)
+        reg.gauge("parallel/overlap/monolithic_step_s").set(
+            self.monolithic_step_time
+        )

@@ -10,6 +10,15 @@ scaling arguments rest on: because the loss is a per-example mean, the
 all-reduced mean of per-shard gradients equals the single-process gradient
 of the full batch — so LEGW experiments run single-process are *exact*
 simulations of the distributed runs in the paper.
+
+Gradient aggregation goes through :class:`~repro.parallel.buckets.
+GradientBuckets` by default: per-worker gradients are packed into
+~``bucket_mb`` MiB dtype-true buckets (reverse-registration order, the
+order backward completes them) and reduced bucket-by-bucket, which bounds
+the reduction's transient memory by the largest bucket instead of the
+whole model and lets the overlap timeline hide communication under
+backward compute.  Pass ``bucket_mb=None`` for the legacy monolithic
+single-buffer reduction (the ablation baseline).
 """
 
 from __future__ import annotations
@@ -18,24 +27,57 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.parallel.allreduce import allreduce_mean
+from repro.obs.metrics import get_active
+from repro.parallel.allreduce import allreduce_mean_single
+from repro.parallel.buckets import (
+    BACKWARD_FRACTION,
+    DEFAULT_BUCKET_MB,
+    GradientBuckets,
+    OverlapTimeline,
+)
+from repro.parallel.cost import CommModel
+from repro.parallel.perfmodel import DeviceModel
 from repro.tensor.tensor import Tensor
 
 
 def shard_batch(batch_arrays: Sequence[np.ndarray], p: int) -> list[tuple[np.ndarray, ...]]:
-    """Split the leading axis of every array in the batch into ``p`` shards.
+    """Split the leading axis of every array in the batch into shards.
 
     Shard sizes follow ``np.array_split`` semantics (first shards one
-    larger when uneven); every worker receives at least one example, so
-    ``p`` must not exceed the batch size.
+    larger when uneven).  When the batch holds fewer than ``p`` examples —
+    the final remainder batch of a ``drop_last=False`` epoch — only
+    ``min(p, n)`` *active* shards are returned, one example each; the
+    remaining workers simply sit the step out (a real synchronous system
+    gives them zero-weight in the reduction).
     """
     n = len(batch_arrays[0])
     if p < 1:
         raise ValueError("worker count must be >= 1")
-    if p > n:
-        raise ValueError(f"cannot shard a batch of {n} across {p} workers")
-    split = [np.array_split(np.asarray(a), p) for a in batch_arrays]
-    return [tuple(split[j][w] for j in range(len(batch_arrays))) for w in range(p)]
+    if n < 1:
+        raise ValueError("cannot shard an empty batch")
+    active = min(p, n)
+    split = [np.array_split(np.asarray(a), active) for a in batch_arrays]
+    return [
+        tuple(split[j][w] for j in range(len(batch_arrays)))
+        for w in range(active)
+    ]
+
+
+class _InstalledGradients:
+    """Loss-like adapter so a :class:`SimCluster` can drive the Trainer.
+
+    ``loss_fn(batch)`` in the training loop returns this object:
+    ``cluster.gradient_step`` has already run (installing the all-reduced
+    gradients), ``.data`` carries the weighted mean loss for the loop's
+    divergence check, and ``.backward()`` is a no-op because the gradients
+    are in place.
+    """
+
+    def __init__(self, mean_loss: float):
+        self.data = np.float64(mean_loss)
+
+    def backward(self) -> None:  # gradients were installed by gradient_step
+        return None
 
 
 class SimCluster:
@@ -53,6 +95,13 @@ class SimCluster:
         Simulated worker count.
     algorithm:
         All-reduce flavour (``ring``/``tree``/``naive``).
+    bucket_mb:
+        Gradient bucket capacity in MiB (default
+        :data:`~repro.parallel.buckets.DEFAULT_BUCKET_MB`); ``None``
+        selects the monolithic single-buffer reduction.
+    comm, device:
+        α-β link and device models for the simulated overlap timeline
+        (defaults: :class:`CommModel()` and a pure per-sample device).
     """
 
     def __init__(
@@ -61,6 +110,9 @@ class SimCluster:
         loss_fn: Callable[[tuple[np.ndarray, ...]], Tensor],
         n_workers: int,
         algorithm: str = "ring",
+        bucket_mb: float | None = DEFAULT_BUCKET_MB,
+        comm: CommModel | None = None,
+        device: DeviceModel | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -68,46 +120,118 @@ class SimCluster:
         self.loss_fn = loss_fn
         self.n_workers = n_workers
         self.algorithm = algorithm
+        self.buckets = (
+            GradientBuckets(self.params, bucket_mb=bucket_mb)
+            if bucket_mb is not None
+            else None
+        )
+        self.comm = comm or CommModel()
+        self.device = device or DeviceModel(t_fixed=0.0, t_sample=1.0)
+        self.last_timeline: OverlapTimeline | None = None
+
+    # -- gradient computation ----------------------------------------------
+
+    def _worker_grads(
+        self, shard, scale: float
+    ) -> tuple[list[np.ndarray], float]:
+        """One worker's per-parameter gradients, scaled and dtype-true."""
+        for p in self.params:
+            p.grad = None
+        loss = self.loss_fn(shard)
+        loss.backward()
+        grads = []
+        for p in self.params:
+            g = p.grad if p.grad is not None else np.zeros_like(p.data)
+            grads.append(
+                np.asarray(g * scale, dtype=p.data.dtype).reshape(p.data.shape)
+            )
+        return grads, float(loss.data)
 
     def gradient_step(
         self, batch_arrays: Sequence[np.ndarray]
     ) -> tuple[float, list[np.ndarray]]:
         """Compute the all-reduced global-batch gradient.
 
-        Returns ``(weighted mean loss, flat per-param gradient list)`` and
+        Returns ``(weighted mean loss, per-param gradient list)`` and
         leaves the averaged gradients installed in ``param.grad`` so any
-        :class:`repro.optim.Optimizer` can apply the update.
+        :class:`repro.optim.Optimizer` can apply the update.  Gradient
+        dtype follows ``param.data.dtype`` end-to-end.
         """
         shards = shard_batch(batch_arrays, self.n_workers)
+        n_active = len(shards)  # < n_workers on a remainder batch
         shard_sizes = np.array([len(s[0]) for s in shards], dtype=np.float64)
         weights = shard_sizes / shard_sizes.sum()
-        flat_grads: list[np.ndarray] = []
         losses: list[float] = []
-        for shard, w in zip(shards, weights):
-            for p in self.params:
-                p.grad = None
-            loss = self.loss_fn(shard)
-            loss.backward()
-            losses.append(float(loss.data))
-            # weight by shard fraction so uneven shards still average to the
-            # exact full-batch gradient of a mean loss
-            flat = np.concatenate(
-                [
-                    (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
-                    * (w * self.n_workers)
-                    for p in self.params
-                ]
+        if self.buckets is not None:
+            worker_buckets: list[list[np.ndarray]] = []
+            for shard, w in zip(shards, weights):
+                # weight by shard fraction so uneven shards still average
+                # to the exact full-batch gradient of a mean loss
+                grads, loss = self._worker_grads(shard, w * n_active)
+                worker_buckets.append(self.buckets.pack(grads))
+                losses.append(loss)
+            reduced = self.buckets.reduce_packed(
+                worker_buckets, algorithm=self.algorithm
             )
-            flat_grads.append(flat)
-        reduced = allreduce_mean(flat_grads, algorithm=self.algorithm)[0]
-        # scatter back into param.grad
+        else:
+            flat_grads: list[np.ndarray] = []
+            for shard, w in zip(shards, weights):
+                grads, loss = self._worker_grads(shard, w * n_active)
+                flat_grads.append(
+                    np.concatenate([g.reshape(-1) for g in grads])
+                )
+                losses.append(loss)
+            flat = allreduce_mean_single(flat_grads, algorithm=self.algorithm)
+            reduced = []
+            offset = 0
+            for p in self.params:
+                size = p.data.size
+                reduced.append(
+                    flat[offset : offset + size].reshape(p.data.shape)
+                )
+                offset += size
         out: list[np.ndarray] = []
-        offset = 0
-        for p in self.params:
-            size = p.data.size
-            g = reduced[offset : offset + size].reshape(p.data.shape)
-            p.grad = g.copy()
+        for p, g in zip(self.params, reduced):
+            p.grad = g
             out.append(p.grad)
-            offset += size
+        self._record_timeline(int(shard_sizes.max()))
         mean_loss = float(np.dot(weights, losses))
         return mean_loss, out
+
+    # -- the simulated overlap timeline -------------------------------------
+
+    def simulate_step(self, shard_batch_size: int) -> OverlapTimeline:
+        """The α-β/device-model timeline of one step at this shard size."""
+        buckets = self.buckets or GradientBuckets(self.params, bucket_mb=1e9)
+        backward = (
+            self.device.iteration_time(max(1, shard_batch_size))
+            * BACKWARD_FRACTION
+        )
+        return buckets.simulate_overlap(
+            self.n_workers, backward, algorithm=self.algorithm, comm=self.comm
+        )
+
+    def _record_timeline(self, shard_batch_size: int) -> None:
+        reg = get_active()
+        if reg is None:
+            return  # keep the uninstrumented path allocation-free
+        self.last_timeline = self.simulate_step(shard_batch_size)
+        self.last_timeline.record(reg)
+
+    # -- Trainer integration -----------------------------------------------
+
+    def as_loss_fn(self) -> Callable[[Sequence[np.ndarray]], _InstalledGradients]:
+        """Adapter so ``Trainer`` can train through this cluster.
+
+        The returned callable runs :meth:`gradient_step` (installing the
+        reduced gradients) and hands the loop a loss-like object whose
+        ``backward()`` is a no-op — the trainer's clip/step machinery then
+        operates on the all-reduced gradients exactly as it would on
+        single-process ones.
+        """
+
+        def loss_fn(batch):
+            mean_loss, _ = self.gradient_step(batch)
+            return _InstalledGradients(mean_loss)
+
+        return loss_fn

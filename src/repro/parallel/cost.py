@@ -61,3 +61,15 @@ def naive_time(nbytes: float, p: int, model: CommModel) -> float:
     if p == 1:
         return 0.0
     return 2 * (p - 1) * (model.alpha + nbytes * model.beta)
+
+
+_TIMERS = {"ring": ring_time, "tree": tree_time, "naive": naive_time}
+
+
+def allreduce_time(
+    nbytes: float, p: int, model: CommModel, algorithm: str = "ring"
+) -> float:
+    """Wall time of one all-reduce under the named algorithm's formula."""
+    if algorithm not in _TIMERS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return _TIMERS[algorithm](nbytes, p, model)

@@ -3,81 +3,129 @@
 :class:`~repro.parallel.cluster.SimCluster` simulates workers in-process;
 this module runs them as actual OS processes (the mpi4py-style SPMD
 pattern, but over ``multiprocessing`` since no MPI runtime is available
-offline).  Each step:
+offline).  Workers are *persistent*: each process builds its model replica
+once, keeps it alive across steps, and the parent sends only the
+parameters that actually changed since that worker's last update (tracked
+with a per-parameter version clock) — not a fresh pickle of the full
+state per shard per step.  Each step:
 
-1. the parent broadcasts the current parameters (state dict) and one
-   batch shard to every worker;
-2. each worker rebuilds its model replica from a picklable factory, loads
-   the parameters, and computes its shard's gradient with the real
-   autograd engine;
-3. the parent averages the returned gradients (shard-size weighted) and
-   installs them, exactly like the simulated cluster — so the same
-   equivalence theorem applies and is tested.
+1. the parent diffs the current parameters against its broadcast shadow,
+   bumps the version clock for changed ones, and sends every worker a
+   shard plus the delta it is missing;
+2. each worker applies the delta to its cached replica and computes its
+   shard's gradient with the real autograd engine;
+3. the parent packs the shard-weighted gradients into
+   :class:`~repro.parallel.buckets.GradientBuckets` and reduces them
+   bucket-by-bucket through the *same*
+   :func:`~repro.parallel.allreduce.allreduce_mean_single` schedules the
+   simulated cluster uses — so the documented ``allreduce/<algo>/*``
+   counters fire on this path too, and the same equivalence theorem
+   applies and is tested.
 
-Fault tolerance: shards are dispatched asynchronously and collected with
-a per-shard ``timeout``, so a crashed or hung worker surfaces as a
-detectable fault instead of a deadlock.  A faulted shard is re-submitted
-(the pool reassigns it to any healthy process) under a bounded retry
-budget with exponential backoff; when the budget is exhausted the step
-fails loudly with :class:`~repro.parallel.faults.WorkerFaultError`.  A
-returned shard whose loss or gradients are non-finite counts as a fault
-too, and a final sanity gate re-checks the *reduced* gradient before it
-is installed — a poisoned reduction can never reach the optimizer.
+Fault tolerance: every worker has its own request/response queue pair, so
+a crashed or hung worker surfaces as a per-shard timeout instead of a
+deadlock.  A faulted shard is re-submitted to the least-loaded *other*
+worker under a bounded retry budget with exponential backoff; when the
+budget is exhausted the step fails loudly with
+:class:`~repro.parallel.faults.WorkerFaultError`.  A returned shard whose
+loss or gradients are non-finite counts as a fault too, and a final
+sanity gate re-checks the *reduced* gradient before it is installed — a
+poisoned reduction can never reach the optimizer.  A worker process that
+died outright is respawned on next submit (its replica cache is gone, so
+it receives the full parameter state again).
 
 Every detected fault and retry increments ``parallel/faults_detected`` /
-``parallel/retries`` on the active metrics registry (see ``repro.obs``)
-as well as the cluster's own counters.
-
-This is a demonstration backend: per-step broadcast of the full state is
-the textbook pattern, not a performance claim (the performance claims
-live in the cost model).  Worker processes are created once and reused.
+``parallel/retries`` on the active metrics registry (see ``repro.obs``),
+as well as the cluster's own counters; the bucketed reduction also
+records the ``parallel/overlap/*`` timeline gauges.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import get_active
+from repro.parallel.buckets import (
+    BACKWARD_FRACTION,
+    DEFAULT_BUCKET_MB,
+    GradientBuckets,
+)
 from repro.parallel.cluster import shard_batch
+from repro.parallel.cost import CommModel
 from repro.parallel.faults import FaultSpec, WorkerFaultError
-from repro.tensor.tensor import Tensor
+from repro.parallel.perfmodel import DeviceModel
 
 
-def _worker_gradient(args):
-    """Executed inside a worker process: one shard's loss and gradients.
+def _worker_main(factory, req_q, resp_q) -> None:
+    """Persistent worker loop: cache the replica, serve gradient requests.
 
-    ``fault`` is ``None`` or ``(spec, step, shard_idx, attempt)`` — the
-    injection coordinates under which this computation may be made to
-    crash, straggle, or return NaN-poisoned gradients (see
-    :mod:`repro.parallel.faults`).
+    Each request is ``(tag, updates, shard, fault)`` with
+    ``tag = (step, shard_idx, attempt)``; ``updates`` maps parameter names
+    to the arrays this replica is missing (empty when already current).
+    Replies are ``(tag, "ok", (loss, grads))`` or ``(tag, "error", msg)``
+    — compute exceptions (including injected crashes) are reported, never
+    allowed to kill the loop, so the replica cache survives faults.
     """
-    factory, state, shard, fault = args
-    kind = None
-    if fault is not None:
-        spec, step, shard_idx, attempt = fault
-        kind = spec.pre_compute(step, shard_idx, attempt)
-    model = factory()
-    model.load_state_dict(state)
-    model.zero_grad()
-    loss = model.loss(shard)
-    loss.backward()
-    grads = {
-        name: (p.grad if p.grad is not None else np.zeros_like(p.data))
-        for name, p in model.named_parameters()
-    }
-    if kind == "nan":
-        FaultSpec.poison(grads)
-    return float(loss.data), grads
+    model = None
+    params = None
+    while True:
+        msg = req_q.get()
+        if msg is None:
+            return
+        tag, updates, shard, fault = msg
+        try:
+            if model is None:
+                model = factory()
+                params = dict(model.named_parameters())
+            # apply parameter deltas BEFORE fault injection: delivery is
+            # infrastructure, only the compute may fault — a crashed
+            # attempt must not leave the replica stale for the next one
+            for name, arr in updates.items():
+                params[name].data[...] = arr
+            kind = None
+            if fault is not None:
+                spec, step, shard_idx, attempt = fault
+                kind = spec.pre_compute(step, shard_idx, attempt)
+            model.zero_grad()
+            loss = model.loss(shard)
+            loss.backward()
+            grads = {
+                name: (p.grad if p.grad is not None else np.zeros_like(p.data))
+                for name, p in params.items()
+            }
+            if kind == "nan":
+                FaultSpec.poison(grads)
+            resp_q.put((tag, "ok", (float(loss.data), grads)))
+        except Exception as exc:  # injected crash or genuine compute error
+            resp_q.put((tag, "error", f"{type(exc).__name__}: {exc}"))
 
 
 def _shard_finite(loss: float, grads: dict[str, np.ndarray]) -> bool:
     if not np.isfinite(loss):
         return False
     return all(np.isfinite(g).all() for g in grads.values())
+
+
+class _Worker:
+    """One persistent worker process and its bookkeeping."""
+
+    __slots__ = ("proc", "req_q", "resp_q", "sent_version", "outstanding")
+
+    def __init__(self, ctx, factory):
+        self.req_q = ctx.Queue()
+        self.resp_q = ctx.Queue()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(factory, self.req_q, self.resp_q),
+            daemon=True,
+        )
+        self.proc.start()
+        self.sent_version = 0  # last param version shipped to this replica
+        self.outstanding = 0  # requests submitted but not yet drained
 
 
 class MultiprocessCluster:
@@ -91,7 +139,15 @@ class MultiprocessCluster:
         replicas are made identical by loading the parent's parameters,
         so the factory's own initialisation seed is irrelevant.
     n_workers:
-        Process count.
+        Process count.  A batch smaller than ``n_workers`` (the remainder
+        batch of a ``drop_last=False`` epoch) runs on ``min(n, batch)``
+        active workers; the rest idle for that step.
+    algorithm:
+        All-reduce flavour for the gradient reduction
+        (``ring``/``tree``/``naive``).
+    bucket_mb:
+        Gradient bucket capacity in MiB for the reduction (``None`` packs
+        everything into one monolithic bucket).
     timeout:
         Seconds to wait for any one shard before declaring its worker
         crashed or hung (``None`` waits forever — the seed behaviour).
@@ -105,6 +161,9 @@ class MultiprocessCluster:
         Optional :class:`~repro.parallel.faults.FaultSpec` injected into
         every worker computation — used by the tests and the resilience
         demo; ``None`` in production.
+    comm, device:
+        α-β link and device models for the simulated overlap timeline
+        gauges (see :mod:`repro.parallel.buckets`).
     """
 
     def __init__(
@@ -112,10 +171,14 @@ class MultiprocessCluster:
         model_factory: Callable[[], object],
         n_workers: int,
         *,
+        algorithm: str = "ring",
+        bucket_mb: float | None = DEFAULT_BUCKET_MB,
         timeout: float | None = None,
         max_retries: int = 2,
         backoff: float = 0.05,
         fault_spec: FaultSpec | None = None,
+        comm: CommModel | None = None,
+        device: DeviceModel | None = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -125,15 +188,29 @@ class MultiprocessCluster:
             raise ValueError("backoff must be >= 0")
         self.model_factory = model_factory
         self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.bucket_mb = bucket_mb
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
         self.fault_spec = fault_spec
+        self.comm = comm or CommModel()
+        self.device = device or DeviceModel(t_fixed=0.0, t_sample=1.0)
         self.faults_detected = 0
         self.retries = 0
+        # delta-broadcast accounting (exposed for tests and curiosity)
+        self.broadcast_params = 0
+        self.broadcast_bytes = 0
         self._step = 0
-        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-        self._pool = ctx.Pool(processes=n_workers)
+        self._version = 0  # bumps whenever any parameter changes
+        self._shadow: dict[str, np.ndarray] = {}  # last-broadcast values
+        self._changed_at: dict[str, int] = {}  # name -> version of change
+        self._ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._workers = [
+            _Worker(self._ctx, model_factory) for _ in range(n_workers)
+        ]
 
     # -- fault bookkeeping --------------------------------------------------
 
@@ -149,15 +226,89 @@ class MultiprocessCluster:
         if reg is not None:
             reg.counter("parallel/retries").inc()
 
-    # -- the step -----------------------------------------------------------
+    # -- the delta broadcast ------------------------------------------------
 
-    def _submit(self, state, shard, step: int, shard_idx: int, attempt: int):
-        fault = None
-        if self.fault_spec is not None:
-            fault = (self.fault_spec, step, shard_idx, attempt)
-        return self._pool.apply_async(
-            _worker_gradient, ((self.model_factory, state, shard, fault),)
+    def _refresh_versions(self, named: dict[str, "object"]) -> None:
+        """Bump the version clock for parameters that changed since the
+        last broadcast (optimizer updates, checkpoint rollbacks, ...)."""
+        dirty = [
+            name
+            for name, p in named.items()
+            if name not in self._shadow
+            or not np.array_equal(self._shadow[name], p.data)
+        ]
+        if not dirty:
+            return
+        self._version += 1
+        for name in dirty:
+            self._changed_at[name] = self._version
+            self._shadow[name] = named[name].data.copy()
+
+    def _updates_for(self, worker: _Worker) -> dict[str, np.ndarray]:
+        return {
+            name: self._shadow[name]
+            for name, changed in self._changed_at.items()
+            if changed > worker.sent_version
+        }
+
+    # -- submission / collection --------------------------------------------
+
+    def _submit(self, w: int, tag, shard, fault) -> None:
+        worker = self._workers[w]
+        if not worker.proc.is_alive():
+            # the process died outright: respawn with an empty replica
+            # cache (sent_version 0 forces a full state resend)
+            self._workers[w] = worker = _Worker(self._ctx, self.model_factory)
+        updates = self._updates_for(worker)
+        worker.req_q.put((tag, updates, shard, fault))
+        worker.sent_version = self._version
+        worker.outstanding += 1
+        self.broadcast_params += len(updates)
+        self.broadcast_bytes += sum(a.nbytes for a in updates.values())
+        reg = get_active()
+        if reg is not None and updates:
+            reg.counter("parallel/broadcast/params").inc(len(updates))
+            reg.counter("parallel/broadcast/bytes").inc(
+                sum(a.nbytes for a in updates.values())
+            )
+
+    def _await(self, w: int, tag):
+        """Next response for ``tag`` from worker ``w``; drains stale ones.
+
+        A stale response (an abandoned earlier attempt that eventually
+        completed) is dropped; a missing response within ``timeout``
+        raises ``TimeoutError``.
+        """
+        worker = self._workers[w]
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
         )
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no response within {self.timeout}s (worker {w})"
+                    )
+            try:
+                got_tag, status, payload = worker.resp_q.get(timeout=remaining)
+            except queue_mod.Empty:
+                raise TimeoutError(
+                    f"no response within {self.timeout}s (worker {w})"
+                ) from None
+            worker.outstanding -= 1
+            if got_tag == tag:
+                return status, payload
+
+    def _retry_worker(self, exclude: int) -> int:
+        """Least-loaded worker other than the one that just faulted."""
+        candidates = [w for w in range(self.n_workers) if w != exclude]
+        if not candidates:
+            return exclude
+        return min(candidates, key=lambda w: self._workers[w].outstanding)
+
+    # -- the step -----------------------------------------------------------
 
     def gradient_step(self, model, batch_arrays: Sequence[np.ndarray]) -> float:
         """Compute the global-batch gradient into ``model``'s ``.grad`` s.
@@ -167,23 +318,35 @@ class MultiprocessCluster:
         any shard exhausts its retry budget.
         """
         shards = shard_batch(list(batch_arrays), self.n_workers)
+        n_active = len(shards)  # < n_workers on a remainder batch
         sizes = np.array([len(s[0]) for s in shards], dtype=np.float64)
         weights = sizes / sizes.sum()
-        state = model.state_dict()
+        named = dict(model.named_parameters())
+        self._refresh_versions(named)
         step = self._step
         self._step += 1
 
-        n = len(shards)
-        attempts = [0] * n
-        results: list[tuple[float, dict[str, np.ndarray]] | None] = [None] * n
-        pending = {
-            i: self._submit(state, shards[i], step, i, 0) for i in range(n)
-        }
-        while pending:
-            for i in list(pending):
-                handle = pending.pop(i)
+        def fault_coords(i: int, attempt: int):
+            if self.fault_spec is None:
+                return None
+            return (self.fault_spec, step, i, attempt)
+
+        attempts = [0] * n_active
+        results: list[tuple[float, dict[str, np.ndarray]] | None] = (
+            [None] * n_active
+        )
+        assigned: dict[int, int] = {}
+        for i in range(n_active):
+            self._submit(i, (step, i, 0), shards[i], fault_coords(i, 0))
+            assigned[i] = i
+        while assigned:
+            for i in list(assigned):
+                w = assigned[i]
                 try:
-                    loss, grads = handle.get(self.timeout)
+                    status, payload = self._await(w, (step, i, attempts[i]))
+                    if status == "error":
+                        raise WorkerFaultError(f"shard {i}: {payload}")
+                    loss, grads = payload
                     if not _shard_finite(loss, grads):
                         raise WorkerFaultError(
                             f"shard {i} returned non-finite loss/gradients"
@@ -199,33 +362,74 @@ class MultiprocessCluster:
                         time.sleep(self.backoff * 2 ** attempts[i])
                     attempts[i] += 1
                     self._record_retry()
-                    pending[i] = self._submit(state, shards[i], step, i, attempts[i])
+                    nw = self._retry_worker(exclude=w)
+                    self._submit(
+                        nw, (step, i, attempts[i]), shards[i],
+                        fault_coords(i, attempts[i]),
+                    )
+                    assigned[i] = nw
                 else:
                     results[i] = (loss, grads)
+                    del assigned[i]
 
-        # reduce into fresh buffers and gate before touching the model —
-        # a non-finite reduction must never be installed
-        named = dict(model.named_parameters())
-        reduced = {name: np.zeros_like(p.data) for name, p in named.items()}
+        # reduce through the bucketed all-reduce schedules and gate before
+        # touching the model — a non-finite reduction must never be
+        # installed.  Weighting by (shard fraction x active workers) makes
+        # the schedule's mean the shard-size-weighted average, exactly the
+        # full-batch gradient of a mean-reduction loss.
+        order = list(named)
+        params = [named[name] for name in order]
+        buckets = GradientBuckets(
+            params,
+            bucket_mb=self.bucket_mb if self.bucket_mb is not None else 1e9,
+        )
+        worker_buckets = []
         total_loss = 0.0
-        for (loss, grads), w in zip(results, weights):
-            total_loss += w * loss
-            for name, g in grads.items():
-                reduced[name] += w * g
+        for (loss, grads), frac in zip(results, weights):
+            total_loss += frac * loss
+            scale = frac * n_active
+            worker_buckets.append(
+                buckets.pack(
+                    [
+                        np.asarray(
+                            grads[name] * scale, dtype=named[name].data.dtype
+                        )
+                        for name in order
+                    ]
+                )
+            )
+        reduced = buckets.reduce_packed(worker_buckets, algorithm=self.algorithm)
         if not np.isfinite(total_loss) or any(
-            not np.isfinite(g).all() for g in reduced.values()
+            not np.isfinite(g).all() for g in reduced
         ):
             self._record_fault()
             raise WorkerFaultError(
                 f"reduced gradient is non-finite at step {step}; not installing"
             )
-        for name, p in named.items():
-            p.grad = reduced[name]
+        for p, g in zip(params, reduced):
+            p.grad = g
+        reg = get_active()
+        if reg is not None:
+            backward = (
+                self.device.iteration_time(int(sizes.max())) * BACKWARD_FRACTION
+            )
+            buckets.simulate_overlap(
+                self.n_workers, backward, algorithm=self.algorithm,
+                comm=self.comm,
+            ).record(reg)
         return total_loss
 
     def close(self) -> None:
-        self._pool.close()
-        self._pool.join()
+        for worker in self._workers:
+            if worker.proc.is_alive():
+                worker.req_q.put(None)
+        for worker in self._workers:
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():  # wedged (e.g. mid-straggle): kill
+                worker.proc.terminate()
+                worker.proc.join(timeout=5)
+            worker.req_q.cancel_join_thread()
+            worker.resp_q.cancel_join_thread()
 
     def __enter__(self) -> "MultiprocessCluster":
         return self

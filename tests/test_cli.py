@@ -114,3 +114,58 @@ class TestTrainResilience:
         line = next(l for l in out.splitlines() if l.startswith("resilience:"))
         faults = int(line.split()[1])
         assert faults >= 1  # p=0.05 per step is seeded; this run does fault
+
+
+class TestTrainParallel:
+    def test_workers_rejects_nonpositive(self, capsys):
+        assert main(["train", "mnist", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_rejects_checkpoint_combo(self, capsys):
+        assert main(
+            ["train", "mnist", "--workers", "2", "--checkpoint-dir", "x"]
+        ) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "mnist", "--workers", "2", "--allreduce-algo", "mesh"])
+
+    @pytest.mark.slow
+    def test_parallel_train_runs_and_reports(self, capsys, tmp_path):
+        metrics = str(tmp_path / "metrics.jsonl")
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "2",
+             "--workers", "3", "--allreduce-algo", "tree",
+             "--bucket-mb", "0.01", "--metrics-out", metrics]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel: 3 workers, tree all-reduce" in out
+        names = [json.loads(l)["name"] for l in open(metrics)]
+        assert "allreduce/tree/calls" in names
+        assert "parallel/buckets/reduced" in names
+        assert "parallel/overlap/fraction" in names
+
+    @pytest.mark.slow
+    def test_parallel_matches_single_process(self, capsys):
+        """--workers is numerically transparent: same final accuracy."""
+        args = ["train", "mnist", "--batch", "64", "--epochs", "2",
+                "--seed", "3"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        pick = lambda out: next(  # noqa: E731
+            l for l in out.splitlines() if "accuracy" in l
+        )
+        assert pick(single) == pick(parallel)
+
+    @pytest.mark.slow
+    def test_monolithic_bucket_mb_zero(self, capsys):
+        code = main(
+            ["train", "mnist", "--batch", "64", "--epochs", "1",
+             "--workers", "2", "--bucket-mb", "0"]
+        )
+        assert code == 0
+        assert "parallel: 2 workers" in capsys.readouterr().out

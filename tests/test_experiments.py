@@ -182,6 +182,15 @@ class TestAnalyticDrivers:
         # large-gradient regime: ring always beats naive beyond 2 workers
         assert all(r < n for r, n in zip(ring[1:], naive[1:]))
 
+    def test_ablation_allreduce_bucket_sweep(self):
+        out = run_experiment("ablation_allreduce")
+        sweep = out["bucket_sweep"]
+        # every bucketed schedule beats the monolithic exposed-comm step
+        assert all(s <= out["monolithic_step_s"] for s in sweep["step_s"])
+        # and some bucket size in the sweep hides most of the comm
+        assert max(sweep["overlap_fraction"]) > 0.9
+        assert len(out["bucket_rows"]) == len(sweep["bucket_mb"])
+
     def test_driver_text_present(self):
         for exp in ("figure2", "figure4", "table1", "ablation_allreduce"):
             out = run_experiment(exp)

@@ -153,3 +153,47 @@ class TestFaultTolerance:
                 cluster.gradient_step(model, batch)
         assert registry.counter("parallel/faults_detected").value == 2.0
         assert registry.counter("parallel/retries").value == 2.0
+
+
+@pytest.mark.slow
+class TestPersistentWorkers:
+    """Workers cache their replica and receive only parameter deltas."""
+
+    def test_delta_broadcast_accounting(self):
+        train, _ = make_sequential_mnist(8, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        model = tiny_model_factory()
+        n_params = len(list(model.parameters()))
+        with MultiprocessCluster(tiny_model_factory, n_workers=2) as cluster:
+            cluster.gradient_step(model, batch)
+            # first step ships the full state to both replicas
+            assert cluster.broadcast_params == 2 * n_params
+            cluster.gradient_step(model, batch)
+            # nothing changed between steps: nothing is resent
+            assert cluster.broadcast_params == 2 * n_params
+            list(model.parameters())[0].data += 0.1
+            cluster.gradient_step(model, batch)
+            # exactly the one mutated parameter goes out, to each worker
+            assert cluster.broadcast_params == 2 * n_params + 2
+
+    def test_allreduce_and_overlap_metrics_fire_on_mp_path(self):
+        from repro.obs.metrics import MetricsRegistry, activated
+
+        train, _ = make_sequential_mnist(8, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        model = tiny_model_factory()
+        registry = MetricsRegistry()
+        with activated(registry):
+            with MultiprocessCluster(
+                tiny_model_factory, n_workers=2, algorithm="tree"
+            ) as cluster:
+                cluster.gradient_step(model, batch)
+        # the real multiprocess path reduces through the documented
+        # collectives (the seed summed gradients by hand and these
+        # counters never fired)
+        assert registry.counter("allreduce/tree/calls").value >= 1
+        assert registry.counter("allreduce/tree/bytes").value > 0
+        assert registry.counter("parallel/buckets/reduced").value >= 1
+        assert 0.0 <= registry.gauge("parallel/overlap/fraction").value <= 1.0
+        assert registry.gauge("parallel/overlap/step_s").value > 0
+        assert registry.counter("parallel/broadcast/params").value > 0

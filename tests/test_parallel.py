@@ -133,13 +133,22 @@ class TestShardBatch:
         rebuilt = np.concatenate([s[0] for s in shards])
         assert np.allclose(rebuilt, x)
 
-    def test_rejects_too_many_workers(self, rng):
-        with pytest.raises(ValueError):
-            shard_batch([np.zeros((2, 1))], 3)
+    def test_small_batch_uses_fewer_workers(self, rng):
+        """A remainder batch smaller than the worker count activates only
+        min(p, n) shards instead of raising (the drop_last=False fix)."""
+        x = rng.standard_normal((2, 3))
+        shards = shard_batch([x], 3)
+        assert len(shards) == 2
+        assert all(len(s[0]) == 1 for s in shards)
+        assert np.allclose(np.concatenate([s[0] for s in shards]), x)
 
     def test_rejects_zero_workers(self, rng):
         with pytest.raises(ValueError):
             shard_batch([np.zeros((2, 1))], 0)
+
+    def test_rejects_empty_batch(self, rng):
+        with pytest.raises(ValueError):
+            shard_batch([np.zeros((0, 1))], 2)
 
 
 class TestSimCluster:
