@@ -1,0 +1,177 @@
+"""Dynamic-batching serving bench — the reason ``repro.serve`` exists.
+
+Large-batch *training* amortises per-step overhead across many samples;
+this bench shows the same economics at inference time.  One MNIST-LSTM
+over the paper's 28 pixel-row timesteps (32-unit cell — small enough
+that the batch-1 forward is overhead-bound, the regime dynamic batching
+exists for) is served two ways over identical weights:
+
+* **sequential ceiling** — batch size pinned to 1, one closed-loop
+  client issuing requests back to back: every request pays the full
+  per-forward overhead alone, and the measured throughput is the best a
+  no-batching server can do;
+* **dynamic** — an open-loop Poisson arrival stream *offered at 3.5x
+  that ceiling* to a :class:`~repro.serve.DynamicBatcher` coalescing up
+  to 64 requests.
+
+The gate: the dynamic server must absorb the whole stream — nothing
+shed, every request served — which puts its throughput >= 3x the
+sequential ceiling, while holding p95 latency inside the budget (the
+larger of 25 ms and 5x the sequential p95: batching may queue a little,
+it may not stall).  A second run at the same seed and rate must return
+identical per-request labels — the load is seed-deterministic end to
+end.
+
+A full (non-smoke) run refreshes ``BENCH_serving.json`` at the repo root
+— the committed reference numbers for this machine class.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI leg does) to run a short stream and
+skip the gates: that exercises the whole stack — batcher, server thread,
+load generator — without gating CI on shared-runner timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+from conftest import save_result
+
+from repro.models import MnistLSTMClassifier
+from repro.serve import (
+    DynamicBatcher,
+    InferenceEngine,
+    Server,
+    run_closed_loop,
+    run_open_loop,
+)
+
+SEQ_LEN, INPUT, HIDDEN = 28, 28, 32  # paper timesteps, overhead-bound cell
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TARGET_SPEEDUP = 3.0
+OFFERED_FACTOR = 3.5  # open-loop rate relative to the sequential ceiling
+MAX_BATCH = 64
+P95_FLOOR_MS = 25.0
+P95_FACTOR = 5.0
+SEQ_RPC = 4 if SMOKE else 64
+DURATION = 0.2 if SMOKE else 2.0
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _payload(rng: np.random.Generator, i: int):
+    return rng.standard_normal((SEQ_LEN, INPUT)), None
+
+
+def _make_server(max_batch: int) -> Server:
+    """A server over freshly built (hence identical) weights."""
+    model = MnistLSTMClassifier(
+        rng=0, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+    )
+    return Server(
+        InferenceEngine(model, "mnist"),
+        DynamicBatcher(
+            max_batch_size=max_batch, max_wait_ms=1.0, max_queue_depth=1024
+        ),
+    )
+
+
+def _sequential_ceiling():
+    with _make_server(max_batch=1) as server:
+        return run_closed_loop(
+            server, _payload, clients=1, requests_per_client=SEQ_RPC, seed=0
+        )
+
+
+def _offered_stream(rate: float):
+    with _make_server(MAX_BATCH) as server:
+        report = run_open_loop(
+            server, _payload, rate=rate, duration=DURATION, seed=0
+        )
+        totals = server.counters()
+    labels = [req.result["label"] for req in report.requests if not req.shed]
+    return report, totals, labels
+
+
+def test_dynamic_batching_throughput(benchmark):
+    def measure():
+        seq = _sequential_ceiling()
+        rate = OFFERED_FACTOR * seq.throughput
+        dyn = _offered_stream(rate)
+        return seq, rate, dyn
+
+    seq, rate, (dyn, totals, labels) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # same seed, same rate, fresh server: bit-identical per-request labels
+    _, _, again = _offered_stream(rate)
+    assert labels == again, "same-seed run must reproduce every label"
+
+    speedup = dyn.throughput / seq.throughput
+    p95_budget = max(P95_FLOOR_MS, P95_FACTOR * seq.p95)
+    mean_batch = dyn.completed / max(1, totals["batches"])
+    save_result(
+        "serving",
+        (
+            f"dynamic-batching serving (mnist-lstm, T={SEQ_LEN}, H={HIDDEN})\n"
+            f"  sequential : {seq.throughput:8.1f} req/s  "
+            f"p50 {seq.p50:6.1f} / p95 {seq.p95:6.1f} ms  (batch 1)\n"
+            f"  dynamic    : {dyn.throughput:8.1f} req/s  "
+            f"p50 {dyn.p50:6.1f} / p95 {dyn.p95:6.1f} ms  "
+            f"(offered {rate:.0f}/s, mean batch {mean_batch:.1f}, "
+            f"shed {dyn.shed})\n"
+            f"  speedup    : {speedup:8.2f}x  (target >= {TARGET_SPEEDUP}x, "
+            f"p95 budget {p95_budget:.1f} ms)"
+        ),
+    )
+    if SMOKE:
+        return
+    assert dyn.shed == 0 and dyn.completed == dyn.submitted, (
+        f"server shed {dyn.shed} of {dyn.submitted} at {rate:.0f} req/s"
+    )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"dynamic batching only {speedup:.2f}x sequential "
+        f"(need >= {TARGET_SPEEDUP}x)"
+    )
+    assert dyn.p95 <= p95_budget, (
+        f"dynamic p95 {dyn.p95:.1f} ms blew the {p95_budget:.1f} ms budget"
+    )
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "bench": "serving",
+                "workload": "mnist-lstm",
+                "geometry": {"seq_len": SEQ_LEN, "input": INPUT, "hidden": HIDDEN},
+                "sequential": {
+                    "mode": "closed-loop",
+                    "clients": 1,
+                    "requests": seq.completed,
+                    "throughput_rps": round(seq.throughput, 1),
+                    "p50_ms": round(seq.p50, 2),
+                    "p95_ms": round(seq.p95, 2),
+                    "p99_ms": round(seq.p99, 2),
+                },
+                "dynamic": {
+                    "mode": "open-loop",
+                    "offered_rps": round(rate, 1),
+                    "requests": dyn.completed,
+                    "shed": dyn.shed,
+                    "max_batch": MAX_BATCH,
+                    "mean_batch": round(mean_batch, 1),
+                    "batches": totals["batches"],
+                    "throughput_rps": round(dyn.throughput, 1),
+                    "p50_ms": round(dyn.p50, 2),
+                    "p95_ms": round(dyn.p95, 2),
+                    "p99_ms": round(dyn.p99, 2),
+                },
+                "speedup": round(speedup, 2),
+                "target_speedup": TARGET_SPEEDUP,
+                "p95_budget_ms": round(p95_budget, 1),
+                "deterministic": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

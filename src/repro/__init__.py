@@ -13,6 +13,8 @@ Public surface
 * ``repro.models``      — the five applications of Table 1
 * ``repro.train``       — trainer, metrics (accuracy/perplexity/BLEU), tuner
 * ``repro.parallel``    — simulated data-parallel cluster + cost models
+* ``repro.serve``       — inference serving: dynamic batching,
+                          checkpoint hot-swap, load generation
 * ``repro.analysis``    — local-Lipschitz diagnostics (Figure 3)
 * ``repro.obs``         — observability: span tracing, structured
                           metrics, op-level engine profiling
@@ -41,6 +43,7 @@ from repro import (
     optim,
     parallel,
     schedules,
+    serve,
     tensor,
     train,
     utils,
@@ -58,6 +61,7 @@ __all__ = [
     "optim",
     "parallel",
     "schedules",
+    "serve",
     "tensor",
     "train",
     "utils",

@@ -8,7 +8,15 @@ cover the repository's day-one uses:
   the rows the paper reports (optionally rendering series as an ASCII
   chart with ``--chart``);
 * ``train <workload>`` — train one application at a chosen batch size
-  under a chosen schedule and print the final metric.
+  under a chosen schedule and print the final metric;
+* ``serve-bench <workload>`` — stand up the dynamic-batching inference
+  server (docs/serving.md) over a trained snapshot (``--snapshot`` file
+  or checkpoint directory; a fresh model when omitted) and drive it with
+  the seeded load generator: ``--arrival-rate``/``--duration`` for
+  open-loop Poisson traffic or ``--mode closed`` with ``--clients``,
+  batching under ``--max-batch``/``--max-wait-ms``, reporting throughput
+  and p50/p95/p99 latency.  A directory snapshot is also watched for
+  newer checkpoints and hot-swapped in mid-run.
 
 Both ``experiment`` and ``train`` accept the observability flags:
 ``--trace-out FILE`` (span tracing; writes Chrome ``trace_event`` JSON
@@ -41,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Sequence
 
@@ -54,6 +63,13 @@ from repro.utils.ascii_plot import line_chart
 
 WORKLOADS = ("mnist", "ptb_small", "ptb_large", "gnmt", "resnet")
 SCHEDULE_KINDS = ("legw", "linear", "sqrt", "none")
+# workload -> InferenceEngine task head (resnet has no serving head yet)
+SERVE_TASKS = {
+    "mnist": "mnist",
+    "ptb_small": "ptb",
+    "ptb_large": "ptb",
+    "gnmt": "gnmt",
+}
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +214,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(tr)
     _add_obs_flags(tr)
+
+    sv = sub.add_parser(
+        "serve-bench",
+        help="benchmark the dynamic-batching inference server",
+    )
+    sv.add_argument("workload", choices=sorted(SERVE_TASKS))
+    sv.add_argument("--preset", default="smoke", choices=("smoke", "small"))
+    sv.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="checkpoint to serve: a single .npz file, or a checkpoint "
+             "directory (newest checkpoint served, watched for hot-swap); "
+             "default: a freshly initialised model",
+    )
+    sv.add_argument(
+        "--max-batch", type=int, default=32, metavar="B",
+        help="largest coalesced batch (default 32)",
+    )
+    sv.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="how long a lone request waits for company (default 2)",
+    )
+    sv.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help="admission-control bound; beyond it requests shed (default 256)",
+    )
+    sv.add_argument(
+        "--mode", default="open", choices=("open", "closed"),
+        help="open: Poisson arrivals at --arrival-rate for --duration; "
+             "closed: --clients each issuing --requests-per-client",
+    )
+    sv.add_argument(
+        "--arrival-rate", type=float, default=200.0, metavar="RPS",
+        help="open-loop mean request rate (default 200)",
+    )
+    sv.add_argument(
+        "--duration", type=float, default=2.0, metavar="SEC",
+        help="open-loop run length in seconds (default 2)",
+    )
+    sv.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="closed-loop concurrent clients (default 8)",
+    )
+    sv.add_argument(
+        "--requests-per-client", type=int, default=32, metavar="N",
+        help="closed-loop requests per client (default 32)",
+    )
+    sv.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(sv)
+    _add_obs_flags(sv)
     return parser
 
 
@@ -337,6 +402,100 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0 if not result.diverged else 1
 
 
+def _serve_payload_pool(wl, workload: str, seed: int) -> list:
+    """Per-request payloads sliced from one training batch.
+
+    The load generator draws uniformly from this pool, so the traffic
+    has the workload's real geometry (image size, window length, the
+    GNMT length spread that exercises bucketed batching).
+    """
+    pool_batch = min(256, wl.n_train)
+    batch = next(iter(wl.make_train_iter(pool_batch, seed + 1)))
+    if SERVE_TASKS[workload] == "gnmt":
+        src, src_len = batch[0], batch[1]
+        return [
+            (src[i, : int(src_len[i])].copy(), int(src_len[i]))
+            for i in range(len(src_len))
+        ]
+    inputs = batch[0]
+    return [(inputs[i].copy(), None) for i in range(len(inputs))]
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        DynamicBatcher,
+        InferenceEngine,
+        Server,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.utils.checkpoint import CheckpointManager
+
+    _apply_engine_flags(args)
+    wl = build_workload(args.workload, args.preset)
+    task = SERVE_TASKS[args.workload]
+    # serving defaults to the fused kernels (forward parity, no autodiff
+    # tape); --no-fused still selects the reference engine
+    fused = True if args.fused is None else bool(args.fused)
+    model = wl.make_model(args.seed)
+    manager = None
+    if args.snapshot is not None:
+        snap = pathlib.Path(args.snapshot)
+        if snap.is_dir():
+            manager = CheckpointManager(snap)
+            engine = InferenceEngine.from_manager(manager, model, task, fused=fused)
+        else:
+            engine = InferenceEngine.from_checkpoint(snap, model, task, fused=fused)
+        source = str(snap)
+    else:
+        engine = InferenceEngine(model, task, fused=fused)
+        source = "fresh model"
+    pool = _serve_payload_pool(wl, args.workload, args.seed)
+
+    def payload_fn(rng, i):
+        return pool[int(rng.integers(len(pool)))]
+
+    batcher = DynamicBatcher(
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+    )
+    obs = _build_obs(args)
+    server = Server(engine, batcher, manager=manager, obs=obs)
+
+    def bench():
+        with server:
+            if args.mode == "open":
+                return run_open_loop(
+                    server, payload_fn, rate=args.arrival_rate,
+                    duration=args.duration, seed=args.seed,
+                )
+            return run_closed_loop(
+                server, payload_fn, clients=args.clients,
+                requests_per_client=args.requests_per_client, seed=args.seed,
+            )
+
+    if obs is None:
+        report = bench()
+    else:
+        with obs.activate():
+            report = bench()
+    print(
+        f"serving {args.workload} ({task} head, version {engine.version}, "
+        f"{source}; max batch {args.max_batch}, "
+        f"max wait {args.max_wait_ms:g} ms)"
+    )
+    print(report.summary())
+    totals = server.counters()
+    print(
+        f"batches: {totals['batches']}, shed: {totals['shed']}, "
+        f"swaps: {totals['swaps']}"
+    )
+    if obs is not None:
+        _emit_obs(obs, args)
+    return 0
+
+
 def _jsonable(value):
     """Best-effort conversion of a driver result dict to JSON types."""
     import numpy as np
@@ -362,6 +521,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

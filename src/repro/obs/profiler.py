@@ -54,6 +54,11 @@ class OpProfiler:
     def __init__(self) -> None:
         self.forward: dict[str, OpStat] = {}
         self.backward: dict[str, OpStat] = {}
+        #: How many ``_make`` calls actually built a graph node (retained
+        #: parents + a vjp closure).  Under ``no_grad()`` every op stays a
+        #: plain array computation and this stays 0 — the serving tests
+        #: pin inference paths on that invariant.
+        self.graph_nodes = 0
         self._attached = False
         self._saved_make = None
         self._mark = time.perf_counter()
@@ -94,6 +99,8 @@ class OpProfiler:
                     bstat.elements += g.size
 
             out = original(data, parents, timed_vjp, op)
+            if out._vjp is not None:
+                profiler.graph_nodes += 1
             profiler._mark = time.perf_counter()
             return out
 
@@ -128,6 +135,7 @@ class OpProfiler:
         """Drop all accumulated statistics (hook state is untouched)."""
         self.forward.clear()
         self.backward.clear()
+        self.graph_nodes = 0
         self.mark()
 
     # -- reporting ---------------------------------------------------------

@@ -1,0 +1,209 @@
+"""Inference execution: eval-mode, no-grad, fused-kernel model serving.
+
+:class:`InferenceEngine` is the compute half of the serving stack — it
+owns a model, pins it into inference configuration (``model.eval()``,
+every forward under :func:`repro.tensor.no_grad`, fused kernels on by
+default), and exposes one task-specific head per application family:
+
+* ``classify``  — MNIST-LSTM: label + logits per image;
+* ``score``     — PTB LM: next-token log-probabilities for each window;
+* ``translate`` — GNMT: beam-search decoding with length-bucketed padding.
+
+``predict(payloads, lengths)`` is the uniform entry point the
+:class:`~repro.serve.server.Server` drives: it stacks/pads the payloads,
+runs the head, and returns one result dict per request.
+
+Weights come from the training side through
+:mod:`repro.utils.checkpoint`: :meth:`from_checkpoint` loads a single
+archive, :meth:`from_manager` the newest one in a directory, and
+:meth:`swap_state` replaces the weights in place (the server calls it
+between batches for hot-swap — see ``docs/serving.md``).  Every engine
+carries a monotonically increasing ``version`` (the checkpoint step it
+serves) so swap staleness is a cheap integer comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor, fused_kernels, no_grad
+from repro.tensor.nnops import log_softmax
+from repro.utils.checkpoint import CheckpointManager, load_checkpoint
+
+__all__ = ["InferenceEngine", "TASKS"]
+
+TASKS = ("mnist", "ptb", "gnmt")
+
+
+class InferenceEngine:
+    """A model pinned into inference mode, with task-specific heads.
+
+    Parameters
+    ----------
+    model:
+        The trained module (architecture must match the checkpoints this
+        engine will load).
+    task:
+        One of :data:`TASKS`; selects the head ``predict`` dispatches to.
+    fused:
+        Run forwards with the fused hot-path kernels (default on — the
+        fused forward is bit-identical to the reference path, see
+        docs/fused_kernels.md).
+    version:
+        The checkpoint step these weights correspond to (0 for a fresh
+        model).
+    beam_size / length_alpha / max_len_factor:
+        GNMT decoding knobs (ignored by the other tasks).
+    """
+
+    def __init__(
+        self,
+        model,
+        task: str,
+        *,
+        fused: bool = True,
+        version: int = 0,
+        beam_size: int = 2,
+        length_alpha: float = 0.6,
+        max_len_factor: float = 2.5,
+    ) -> None:
+        if task not in TASKS:
+            raise ValueError(f"unknown task {task!r}; expected one of {TASKS}")
+        self.model = model
+        self.task = task
+        self.fused = bool(fused)
+        self.version = int(version)
+        self.beam_size = beam_size
+        self.length_alpha = length_alpha
+        self.max_len_factor = max_len_factor
+        self.model.eval()
+
+    # -- construction from checkpoints -------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls, path: str | pathlib.Path, model, task: str, **kwargs: Any
+    ) -> "InferenceEngine":
+        """Load one checkpoint archive into ``model`` and wrap it."""
+        iteration = load_checkpoint(path, model)
+        step = CheckpointManager.step_of(path)
+        version = step if step is not None else iteration
+        return cls(model, task, version=version, **kwargs)
+
+    @classmethod
+    def from_manager(
+        cls, manager: CheckpointManager, model, task: str, **kwargs: Any
+    ) -> "InferenceEngine":
+        """Load the newest loadable checkpoint in ``manager``'s directory."""
+        loaded = manager.load_latest(model)
+        if loaded is None:
+            raise FileNotFoundError(
+                f"no loadable checkpoint in {manager.directory}"
+            )
+        iteration, path = loaded
+        step = CheckpointManager.step_of(path)
+        version = step if step is not None else iteration
+        return cls(model, task, version=version, **kwargs)
+
+    # -- hot-swap ----------------------------------------------------------
+
+    def swap_state(self, state: dict[str, np.ndarray], version: int) -> None:
+        """Replace the weights in place and bump :attr:`version`.
+
+        Not thread-safe against a concurrent forward — the server calls
+        this on its engine thread *between* batches, which is exactly the
+        drain-then-swap discipline hot-swap needs.
+        """
+        self.model.load_state_dict(state)
+        self.model.eval()
+        self.version = int(version)
+
+    def load_version(self, path: str | pathlib.Path) -> int:
+        """Load ``path`` into the model; returns the new version."""
+        iteration = load_checkpoint(path, self.model)
+        self.model.eval()
+        step = CheckpointManager.step_of(path)
+        self.version = step if step is not None else iteration
+        return self.version
+
+    # -- task heads --------------------------------------------------------
+
+    def classify(self, images: np.ndarray) -> list[dict[str, Any]]:
+        """MNIST-LSTM head: images ``(B, T, D)`` -> label + logits each."""
+        with no_grad(), fused_kernels(self.fused):
+            logits = self.model(np.asarray(images)).data
+        labels = logits.argmax(axis=1)
+        return [
+            {"label": int(labels[i]), "logits": logits[i].copy()}
+            for i in range(len(logits))
+        ]
+
+    def score(self, tokens: np.ndarray) -> list[dict[str, Any]]:
+        """PTB head: windows ``(B, T)`` -> next-token log-probs each."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        with no_grad(), fused_kernels(self.fused):
+            logits = self.model(tokens)  # (T, B, V)
+            logp = log_softmax(logits[logits.shape[0] - 1]).data  # (B, V)
+        preds = logp.argmax(axis=1)
+        return [
+            {"next_token": int(preds[i]), "logp": logp[i].copy()}
+            for i in range(len(logp))
+        ]
+
+    def translate(
+        self, src: np.ndarray, src_len: np.ndarray
+    ) -> list[dict[str, Any]]:
+        """GNMT head: padded sources -> beam-decoded content tokens each."""
+        from repro.models.beam import beam_decode
+
+        src = np.asarray(src, dtype=np.int64)
+        src_len = np.asarray(src_len, dtype=np.int64)
+        max_len = int(src_len.max() * self.max_len_factor) + 2
+        with no_grad(), fused_kernels(self.fused):
+            hyps = beam_decode(
+                self.model,
+                src,
+                src_len,
+                max_len,
+                beam_size=self.beam_size,
+                length_alpha=self.length_alpha,
+            )
+        return [{"tokens": hyp} for hyp in hyps]
+
+    # -- the uniform entry point the server drives -------------------------
+
+    def predict(
+        self,
+        payloads: Sequence[np.ndarray],
+        lengths: Sequence[int | None] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run one coalesced batch; returns one result dict per payload.
+
+        ``payloads`` are single-request arrays (no batch axis); sequence
+        tasks pad them to the batch maximum here, which is cheap because
+        the batcher only mixes lengths within one bucket.
+        """
+        if not payloads:
+            return []
+        if self.task == "mnist":
+            return self.classify(np.stack([np.asarray(p) for p in payloads]))
+        if self.task == "ptb":
+            return self.score(np.stack([np.asarray(p) for p in payloads]))
+        # gnmt: pad variable-length sources up to the batch maximum
+        from repro.data.vocab import PAD
+
+        if lengths is None:
+            lengths = [len(p) for p in payloads]
+        lens = np.asarray(
+            [len(p) if n is None else n for p, n in zip(payloads, lengths)],
+            dtype=np.int64,
+        )
+        width = int(max(int(l) for l in lens))
+        src = np.full((len(payloads), width), PAD, dtype=np.int64)
+        for i, p in enumerate(payloads):
+            p = np.asarray(p, dtype=np.int64)[: lens[i]]
+            src[i, : len(p)] = p
+        return self.translate(src, lens)

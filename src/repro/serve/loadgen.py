@@ -1,0 +1,199 @@
+"""Seeded load generators and latency reporting for the serving stack.
+
+Two classic load models, both fully deterministic in *what* they send
+(payloads and arrival schedule derive from one ``numpy`` seed; only the
+measured timings vary run to run):
+
+* **open loop** (:func:`run_open_loop`) — Poisson arrivals at a fixed
+  rate, submitted without waiting for responses.  This is how real
+  traffic behaves and the only model that exposes overload: when the
+  offered rate beats the server's capacity the queue fills and the
+  admission controller sheds, which the report counts separately from
+  served requests;
+* **closed loop** (:func:`run_closed_loop`) — ``clients`` synthetic users
+  each submit, wait, repeat.  Offered load self-throttles to capacity,
+  which makes it the right harness for *throughput* measurement
+  (``benchmarks/bench_serving.py`` gates on it).
+
+Both return a :class:`LoadReport` with throughput and p50/p95/p99
+latency percentiles plus the completed requests themselves, so callers
+can check result *content* (the determinism gate compares per-request
+predictions across two seeded runs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.serve.batcher import Request
+from repro.serve.server import Server
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["LoadReport", "run_open_loop", "run_closed_loop"]
+
+#: A payload factory: ``(rng, index) -> (payload, seq_len | None)``.
+PayloadFn = Callable[[np.random.Generator, int], tuple[Any, int | None]]
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured."""
+
+    mode: str
+    duration: float  # wall-clock seconds of the generation window
+    submitted: int
+    completed: int
+    shed: int
+    latencies_ms: list[float] = field(default_factory=list)
+    requests: list[Request] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of generation wall-clock."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds (NaN when nothing completed)."""
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode}: {self.completed}/{self.submitted} served "
+            f"({self.shed} shed) in {self.duration:.2f}s — "
+            f"{self.throughput:.1f} req/s, latency p50 {self.p50:.1f} / "
+            f"p95 {self.p95:.1f} / p99 {self.p99:.1f} ms"
+        )
+
+
+def _finalize(
+    mode: str, duration: float, requests: list[Request], timeout: float
+) -> LoadReport:
+    """Wait for every request and fold the outcomes into a report."""
+    deadline = time.perf_counter() + timeout
+    for req in requests:
+        remaining = deadline - time.perf_counter()
+        if not req.wait(max(0.0, remaining)):
+            raise TimeoutError("request never completed; server wedged?")
+    completed = [r for r in requests if not r.shed]
+    report = LoadReport(
+        mode=mode,
+        duration=duration,
+        submitted=len(requests),
+        completed=len(completed),
+        shed=sum(1 for r in requests if r.shed),
+        latencies_ms=[
+            r.latency * 1e3 for r in completed if r.latency is not None
+        ],
+        requests=requests,
+    )
+    return report
+
+
+def run_open_loop(
+    server: Server,
+    payload_fn: PayloadFn,
+    *,
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Poisson-arrival open-loop load for ``duration`` seconds.
+
+    Inter-arrival gaps are ``Exp(1/rate)`` draws from the seeded stream,
+    so the *schedule* (and every payload) is identical across runs with
+    the same seed; requests are submitted fire-and-forget and collected
+    at the end.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0 requests/second")
+    rng = as_generator(seed)
+    arrival_rng, payload_rng = spawn(rng, 2)
+    # pre-draw the whole schedule: determinism is independent of timing
+    gaps: list[float] = []
+    t = 0.0
+    while True:
+        gap = float(arrival_rng.exponential(1.0 / rate))
+        if t + gap > duration:
+            break
+        t += gap
+        gaps.append(t)
+    payloads = [payload_fn(payload_rng, i) for i in range(len(gaps))]
+
+    requests: list[Request] = []
+    start = time.perf_counter()
+    for arrival, (payload, seq_len) in zip(gaps, payloads):
+        now = time.perf_counter() - start
+        if arrival > now:
+            time.sleep(arrival - now)
+        requests.append(server.submit(payload, seq_len))
+    elapsed = time.perf_counter() - start
+    return _finalize("open-loop", max(elapsed, duration), requests, timeout)
+
+
+def run_closed_loop(
+    server: Server,
+    payload_fn: PayloadFn,
+    *,
+    clients: int,
+    requests_per_client: int,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """``clients`` threads each submit-wait-repeat ``requests_per_client``.
+
+    Each client owns a spawned child stream (client ``c``'s ``i``-th
+    payload is ``payload_fn(rng_c, c * requests_per_client + i)``), so
+    the full request set is deterministic regardless of thread
+    interleaving.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    rngs = spawn(as_generator(seed), clients)
+    all_requests: list[list[Request]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def client(c: int) -> None:
+        try:
+            for i in range(requests_per_client):
+                payload, seq_len = payload_fn(rngs[c], c * requests_per_client + i)
+                req = server.submit(payload, seq_len)
+                all_requests[c].append(req)
+                if not req.wait(timeout):
+                    raise TimeoutError(f"client {c} request {i} timed out")
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    start = time.perf_counter()
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    flat = [req for per_client in all_requests for req in per_client]
+    return _finalize("closed-loop", elapsed, flat, timeout)

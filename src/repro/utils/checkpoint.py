@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import pathlib
+import re
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -236,8 +237,20 @@ class CheckpointManager:
         self.keep_last = keep_last
         self.corrupt_skipped: list[pathlib.Path] = []
 
+    _STEP_RE = re.compile(r"ckpt_(\d+)\.npz$")
+
     def path_for(self, step: int) -> pathlib.Path:
         return self.directory / f"ckpt_{int(step):010d}.npz"
+
+    @staticmethod
+    def step_of(path: "str | pathlib.Path") -> int | None:
+        """The step encoded in a manager-named checkpoint path.
+
+        ``None`` for paths that don't follow the ``ckpt_<step>.npz``
+        convention (hand-named checkpoints).
+        """
+        match = CheckpointManager._STEP_RE.search(pathlib.Path(path).name)
+        return int(match.group(1)) if match else None
 
     def checkpoints(self) -> list[pathlib.Path]:
         """All checkpoint files, oldest first."""
@@ -246,6 +259,19 @@ class CheckpointManager:
     def latest(self) -> pathlib.Path | None:
         files = self.checkpoints()
         return files[-1] if files else None
+
+    def latest_step(self) -> int | None:
+        """Newest checkpoint's step, from filenames alone.
+
+        This is the cheap "is there anything newer?" probe the serving
+        hot-swap polls: a directory listing plus an integer parse — no
+        archive is opened, so a concurrently-writing trainer is never
+        raced mid-save (and :func:`save_checkpoint`'s atomic
+        ``os.replace`` guarantees the file behind the answer is either
+        absent or complete).
+        """
+        latest = self.latest()
+        return None if latest is None else self.step_of(latest)
 
     def save(
         self,

@@ -205,3 +205,86 @@ class TestCheckpointManager:
         from repro.utils import CheckpointManager
 
         assert CheckpointManager(tmp_path).load_latest(make_model()) is None
+
+
+class TestSnapshotVersions:
+    """latest_step()/step_of(): the serving hot-swap's staleness probe."""
+
+    def test_step_of_parses_manager_names(self, tmp_path):
+        from repro.utils import CheckpointManager
+
+        mgr = CheckpointManager(tmp_path)
+        assert CheckpointManager.step_of(mgr.path_for(42)) == 42
+        assert CheckpointManager.step_of("ckpt_0000000007.npz") == 7
+        assert CheckpointManager.step_of("hand_named.npz") is None
+
+    def test_latest_step_tracks_saves(self, tmp_path):
+        from repro.utils import CheckpointManager
+
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        assert mgr.latest_step() is None
+        model = make_model()
+        for step in (3, 8, 21):
+            mgr.save(model, iteration=step, step=step)
+            assert mgr.latest_step() == step
+        # retention pruned older files but the newest step survives
+        assert [CheckpointManager.step_of(p) for p in mgr.checkpoints()] == [8, 21]
+
+    def test_concurrent_writer_never_tears_a_read(self, tmp_path):
+        """A trainer saving while a server polls and loads: atomic
+        ``os.replace`` means every load sees a complete archive."""
+        import threading
+
+        from repro.utils import CheckpointManager
+
+        mgr = CheckpointManager(tmp_path, keep_last=None)
+        writer_model = make_model()
+        # each step writes recognisably distinct weights
+        saved_states: dict[int, np.ndarray] = {}
+        n_steps = 20
+
+        def writer():
+            for step in range(1, n_steps + 1):
+                writer_model.transform.weight.data[:] = float(step)
+                saved_states[step] = writer_model.transform.weight.data.copy()
+                mgr.save(writer_model, iteration=step, step=step)
+
+        stop = threading.Event()
+        observed: list[int] = []
+        errors: list[BaseException] = []
+
+        def reader():
+            reader_mgr = CheckpointManager(tmp_path, keep_last=None)
+            reader_model = make_model()
+            try:
+                while not stop.is_set():
+                    step = reader_mgr.latest_step()
+                    if step is None:
+                        continue
+                    loaded = reader_mgr.load_latest(reader_model)
+                    if loaded is None:
+                        continue
+                    iteration, _ = loaded
+                    observed.append(iteration)
+                    # a loaded state is exactly one that was saved, never
+                    # a torn mix of two saves
+                    assert np.array_equal(
+                        reader_model.transform.weight.data,
+                        saved_states[iteration],
+                    )
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        r.start()
+        w.start()
+        w.join()
+        stop.set()
+        r.join()
+        assert not errors, errors[0]
+        assert observed, "reader never completed a load"
+        # the reader's view only moves forward: each poll lists at least
+        # the files the previous poll saw
+        assert observed == sorted(observed)
+        assert observed[-1] <= n_steps

@@ -169,3 +169,54 @@ class TestTrainParallel:
         )
         assert code == 0
         assert "parallel: 2 workers" in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_closed_loop_fresh_model(self, capsys):
+        code = main(
+            ["serve-bench", "mnist", "--mode", "closed", "--clients", "2",
+             "--requests-per-client", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving mnist" in out and "fresh model" in out
+        assert "closed-loop: 6/6 served" in out
+
+    def test_open_loop_reports_percentiles(self, capsys):
+        code = main(
+            ["serve-bench", "mnist", "--arrival-rate", "100",
+             "--duration", "0.15"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "open-loop:" in out and "p95" in out
+        assert "shed: 0" in out
+
+    def test_snapshot_directory_reports_version(self, capsys, tmp_path):
+        from repro.experiments import build_workload
+        from repro.utils import CheckpointManager
+
+        wl = build_workload("mnist", "smoke")
+        CheckpointManager(tmp_path).save(wl.make_model(0), iteration=5, step=5)
+        code = main(
+            ["serve-bench", "mnist", "--snapshot", str(tmp_path),
+             "--mode", "closed", "--clients", "1",
+             "--requests-per-client", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "version 5" in out
+
+    def test_gnmt_head_serves_variable_lengths(self, capsys):
+        code = main(
+            ["serve-bench", "gnmt", "--mode", "closed", "--clients", "2",
+             "--requests-per-client", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving gnmt (gnmt head" in out
+        assert "4/4 served" in out
+
+    def test_resnet_has_no_serving_head(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "resnet"])

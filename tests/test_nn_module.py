@@ -117,3 +117,90 @@ class TestSequential:
     def test_params_gathered(self):
         seq = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
         assert len(seq.parameters()) == 4
+
+
+class TestTrainingFlagPropagation:
+    """Serving depends on eval()/train() reaching every nested module:
+    an eval-mode server with a training-mode Dropout buried three levels
+    deep would serve noisy predictions."""
+
+    @staticmethod
+    def _deep_model():
+        from repro.nn import BatchNorm2d
+
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5, rng=1)
+                self.bn = BatchNorm2d(3)
+
+            def forward(self, x):
+                return self.bn(self.drop(x))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.stack = ModuleList([Inner(), Inner()])
+                self.tail = Sequential(Inner())
+
+            def forward(self, x):
+                for inner in self.stack:
+                    x = inner(x)
+                return self.tail(x)
+
+        return Outer()
+
+    def test_flags_reach_every_descendant(self):
+        model = self._deep_model()
+        assert all(m.training for m in model.modules())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_round_trips_are_stable(self):
+        model = self._deep_model()
+        for _ in range(3):
+            model.eval()
+            model.train()
+        assert all(m.training for m in model.modules())
+        modes = [m.training for m in model.modules()]
+        model.eval().train().eval()
+        assert all(not m.training for m in model.modules())
+        assert len(modes) == sum(1 for _ in model.modules())
+
+    def test_dropout_identity_in_eval_stochastic_in_train(self, rng):
+        drop = Dropout(0.5, rng=7)
+        x = Tensor(rng.standard_normal((64, 8)))
+        drop.eval()
+        assert np.array_equal(drop(x).data, x.data)
+        drop.train()
+        masked = drop(x).data
+        assert not np.array_equal(masked, x.data)
+        assert (masked == 0.0).any()
+
+    def test_batchnorm_uses_running_stats_in_eval(self, rng):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)) * 5.0 + 2.0)
+        train_out = bn(x).data  # training: batch stats + EMA update
+        bn.eval()
+        eval_out = bn(x).data  # eval: frozen running estimates
+        assert not np.allclose(train_out, eval_out)
+        # eval mode must not move the running estimates
+        mean_before = bn._buffer_running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3))))
+        assert np.array_equal(bn._buffer_running_mean, mean_before)
+
+    def test_eval_train_roundtrip_restores_behaviour(self, rng):
+        # eval() then train() returns to batch-stat normalisation exactly
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        bn_twin = BatchNorm2d(2)
+        ref = bn_twin(x).data
+        bn.eval()
+        bn.train()
+        assert np.allclose(bn(x).data, ref)

@@ -308,3 +308,41 @@ class TestObsBundle:
             with obs.span("b"):
                 pass
         assert [e.path for e in obs.tracer.events] == ["a/b", "a"]
+
+
+class TestGraphNodeCounter:
+    """graph_nodes: how many _make calls retained a backward closure."""
+
+    def test_counts_graph_building_ops(self):
+        from repro.tensor import no_grad
+
+        prof = OpProfiler()
+        with prof.attached_to_engine():
+            t = Tensor(np.ones(3), requires_grad=True)
+            (t * 2).sum()
+        assert prof.graph_nodes == 2  # mul + sum both kept a vjp
+
+    def test_no_grad_builds_zero_nodes_but_still_profiles(self):
+        from repro.tensor import no_grad
+
+        prof = OpProfiler()
+        with prof.attached_to_engine(), no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+            (t * 2).sum()
+        # forward work is still counted, but no graph was allocated
+        assert prof.forward["mul"].calls == 1
+        assert prof.graph_nodes == 0
+
+    def test_constant_inputs_build_zero_nodes(self):
+        prof = OpProfiler()
+        with prof.attached_to_engine():
+            (Tensor(np.ones(3)) * 2).sum()  # no requires_grad anywhere
+        assert prof.graph_nodes == 0
+
+    def test_reset_clears_graph_nodes(self):
+        prof = OpProfiler()
+        with prof.attached_to_engine():
+            Tensor(np.ones(2), requires_grad=True).sum()
+            assert prof.graph_nodes == 1
+            prof.reset()
+            assert prof.graph_nodes == 0
