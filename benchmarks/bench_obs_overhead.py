@@ -2,9 +2,11 @@
 
 The `repro.obs` contract is two-sided: disabled instrumentation is free
 (the trainer's disabled path is the seed code path), and *enabled*
-span tracing + metrics must cost < 10% wall-clock on a real training
-run — spans wrap whole phases (forward/backward/clip/step), so their
-cost amortizes over thousands of NumPy flops per iteration.
+span tracing + metrics — including the every-iteration time-series
+sampling behind ``--metrics-every 1`` — must cost < 10% wall-clock on a
+real training run: spans wrap whole phases (forward/backward/clip/step)
+and a sample is one dict-build per instrument, so their cost amortizes
+over thousands of NumPy flops per iteration.
 
 Measured on a smoke MNIST-LSTM run; min-of-3 on both sides to shed
 scheduler noise.  The op profiler is deliberately excluded: it hooks
@@ -28,9 +30,12 @@ def test_obs_overhead(benchmark):
     wl = build_workload("mnist", "smoke")
     schedule = wl.legw_schedule(BATCH, EPOCHS)
 
-    def run_once(obs) -> float:
+    def run_once(obs, metrics_every: int = 0) -> float:
         t0 = time.perf_counter()
-        result = wl.run(BATCH, schedule, seed=0, epochs=EPOCHS, obs=obs)
+        result = wl.run(
+            BATCH, schedule, seed=0, epochs=EPOCHS, obs=obs,
+            metrics_every=metrics_every,
+        )
         assert not result.diverged
         return time.perf_counter() - t0
 
@@ -38,10 +43,13 @@ def test_obs_overhead(benchmark):
         run_once(None)  # warm caches before timing anything
         baseline_times, traced_times = [], []
         for _ in range(ROUNDS):  # interleave to share any machine drift
-            baseline_times.append(run_once(None))
+            # metrics_every on the baseline side too: with obs disabled
+            # it must be dead code, so the baseline stays the seed path
+            baseline_times.append(run_once(None, metrics_every=1))
             obs = Obs(trace=True, metrics=True)
             with obs.activate():
-                traced_times.append(run_once(obs))
+                traced_times.append(run_once(obs, metrics_every=1))
+            assert len(obs.metrics.samples) > 0  # time series actually on
         return min(baseline_times), min(traced_times)
 
     baseline, traced = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -52,7 +60,8 @@ def test_obs_overhead(benchmark):
             f"obs overhead (mnist smoke, batch {BATCH}, {EPOCHS} epochs, "
             f"min of {ROUNDS})\n"
             f"  baseline : {baseline * 1e3:8.1f} ms\n"
-            f"  traced   : {traced * 1e3:8.1f} ms  (spans + metrics)\n"
+            f"  traced   : {traced * 1e3:8.1f} ms  (spans + metrics + "
+            f"per-iteration time series)\n"
             f"  overhead : {overhead * 100:+8.2f}%"
         ),
     )

@@ -18,12 +18,17 @@ cover the repository's day-one uses:
   and p50/p95/p99 latency.  A directory snapshot is also watched for
   newer checkpoints and hot-swapped in mid-run.
 
-Both ``experiment`` and ``train`` accept the observability flags:
+Every subcommand accepts the observability flags:
 ``--trace-out FILE`` (span tracing; writes Chrome ``trace_event`` JSON
 and prints an ASCII flame summary), ``--metrics-out FILE`` (structured
 counters/gauges/histograms as JSONL — per-layer trust ratios, grad
-norms, all-reduce traffic) and ``--profile`` (op-level engine profile,
-forward and backward separately).  All three default to off, which keeps
+norms, all-reduce traffic), ``--profile`` (op-level engine profile,
+forward and backward separately), ``--metrics-every N`` (sample every
+instrument into a timestamped time series each N iterations/batches —
+streamed to ``--metrics-out`` as it happens, followed by the final
+snapshot) and ``--report-out FILE`` (render the run's telemetry —
+sparkline time series, span flame summary, health events — as markdown,
+or HTML when FILE ends in ``.html``).  All default to off, which keeps
 the run on the exact uninstrumented code path.
 
 Both commands also take ``--fused`` / ``--no-fused`` (docs/fused_kernels.md)
@@ -32,10 +37,12 @@ neither flag the ``REPRO_FUSED`` environment setting (default: reference)
 applies.
 
 ``train`` accepts the data-parallel flags (docs/parallel.md): ``--workers P``
-shards every batch across ``P`` simulated workers with gradients reduced
-through the bucketed all-reduce, ``--allreduce-algo`` picks the schedule
-(ring/tree/naive), and ``--bucket-mb`` sizes the gradient buckets (``0``
-for the monolithic baseline).
+shards every batch across ``P`` workers with gradients reduced through
+the bucketed all-reduce, ``--parallel-backend`` chooses between the
+in-process simulation (``sim``, the default) and real OS worker
+processes with cross-process telemetry (``mp``), ``--allreduce-algo``
+picks the schedule (ring/tree/naive), and ``--bucket-mb`` sizes the
+gradient buckets (``0`` for the monolithic baseline).
 
 ``train`` additionally accepts the resilience flags (docs/resilience.md):
 ``--checkpoint-dir DIR`` switches to fault-tolerant training with
@@ -99,19 +106,40 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="profile tensor-engine ops and print the top-N table",
     )
+    parser.add_argument(
+        "--metrics-every", type=int, default=0, metavar="N",
+        help="sample the metrics time series every N iterations/batches "
+             "(enables metrics; streamed to --metrics-out when given; "
+             "default 0 = end-of-run snapshot only)",
+    )
+    parser.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="write a run report (time series + flame summary + health "
+             "events) to FILE — markdown, or HTML for a .html/.htm FILE",
+    )
 
 
 def _build_obs(args: argparse.Namespace) -> Obs | None:
     """An :class:`Obs` for the requested flags, or ``None`` when all off."""
     obs = Obs(
         trace=args.trace_out is not None,
-        metrics=args.metrics_out is not None,
+        metrics=(
+            args.metrics_out is not None
+            or args.metrics_every > 0
+            or args.report_out is not None
+        ),
         profile=args.profile,
     )
-    return obs if obs.enabled else None
+    if not obs.enabled:
+        return None
+    if args.metrics_every > 0 and args.metrics_out is not None:
+        # stream samples as they happen; the final snapshot is appended
+        # at close so one file carries the series and the end state
+        obs.metrics.stream_to(args.metrics_out)
+    return obs
 
 
-def _emit_obs(obs: Obs, args: argparse.Namespace) -> None:
+def _emit_obs(obs: Obs, args: argparse.Namespace, health=None) -> None:
     """Print/write whatever the enabled instruments collected."""
     if obs.profiler is not None:
         print()
@@ -121,9 +149,27 @@ def _emit_obs(obs: Obs, args: argparse.Namespace) -> None:
         print(obs.tracer.flame_summary())
         obs.tracer.save_chrome_trace(args.trace_out)
         print(f"chrome trace written to {args.trace_out}")
-    if obs.metrics is not None:
-        obs.metrics.save(args.metrics_out)
-        print(f"metrics snapshot written to {args.metrics_out}")
+    if obs.metrics is not None and args.metrics_out is not None:
+        if obs.metrics.streaming:
+            obs.metrics.close_stream(final_snapshot=True)
+            print(
+                f"metrics time series + final snapshot written to "
+                f"{args.metrics_out}"
+            )
+        else:
+            obs.metrics.save(args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+    if args.report_out is not None:
+        from repro.obs import save_report
+
+        fmt = save_report(
+            args.report_out,
+            title=f"repro {args.command} run report",
+            registry=obs.metrics,
+            tracer=obs.tracer,
+            health=health,
+        )
+        print(f"{fmt} run report written to {args.report_out}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -171,8 +217,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     par.add_argument(
         "--workers", type=int, default=None, metavar="P",
-        help="shard every batch across P simulated workers and reduce "
-             "gradients through the bucketed all-reduce",
+        help="shard every batch across P workers and reduce gradients "
+             "through the bucketed all-reduce",
+    )
+    par.add_argument(
+        "--parallel-backend", default="sim", choices=("sim", "mp"),
+        help="sim: in-process simulated workers (default); mp: real OS "
+             "worker processes with cross-process telemetry aggregation",
     )
     par.add_argument(
         "--allreduce-algo", default="ring", choices=ALGORITHMS,
@@ -342,22 +393,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         if args.workers < 1:
             print("--workers must be >= 1", file=sys.stderr)
             return 2
-        if args.checkpoint_dir is not None:
+        if args.checkpoint_dir is not None and args.parallel_backend != "mp":
             print(
-                "--workers cannot be combined with --checkpoint-dir",
+                "--workers with --checkpoint-dir requires "
+                "--parallel-backend mp",
                 file=sys.stderr,
             )
             return 2
     obs = _build_obs(args)
 
     def train(obs=None):
-        if args.workers is not None:
-            return wl.run_parallel(
-                batch, schedule, workers=args.workers,
-                algorithm=args.allreduce_algo,
-                bucket_mb=args.bucket_mb if args.bucket_mb > 0 else None,
-                seed=args.seed, epochs=args.epochs, obs=obs,
-            )
         if args.checkpoint_dir is not None:
             return wl.run_resilient(
                 batch, schedule, checkpoint_dir=args.checkpoint_dir,
@@ -365,8 +410,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 resume=args.resume, keep_last=args.keep_last,
                 max_recoveries=args.max_recoveries,
                 fault_rate=args.fault_rate,
+                metrics_every=args.metrics_every,
+                workers=args.workers or 0,
             )
-        return wl.run(batch, schedule, seed=args.seed, epochs=args.epochs, obs=obs)
+        if args.workers is not None:
+            return wl.run_parallel(
+                batch, schedule, workers=args.workers,
+                algorithm=args.allreduce_algo,
+                bucket_mb=args.bucket_mb if args.bucket_mb > 0 else None,
+                seed=args.seed, epochs=args.epochs, obs=obs,
+                metrics_every=args.metrics_every,
+                backend=args.parallel_backend,
+            )
+        return wl.run(batch, schedule, seed=args.seed, epochs=args.epochs,
+                      obs=obs, metrics_every=args.metrics_every)
 
     if obs is None:
         result = train()
@@ -387,7 +444,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             else ""
         )
         print(
-            f"parallel: {args.workers} workers, {args.allreduce_algo} "
+            f"parallel: {args.workers} workers "
+            f"({args.parallel_backend}), {args.allreduce_algo} "
             f"all-reduce{extra}"
         )
     if args.checkpoint_dir is not None:
@@ -398,7 +456,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"recovery(ies), checkpoints in {args.checkpoint_dir}"
         )
     if obs is not None:
-        _emit_obs(obs, args)
+        _emit_obs(obs, args, health=getattr(wl, "last_health", None))
     return 0 if not result.diverged else 1
 
 
@@ -461,7 +519,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
     )
     obs = _build_obs(args)
-    server = Server(engine, batcher, manager=manager, obs=obs)
+    server = Server(
+        engine, batcher, manager=manager, obs=obs,
+        metrics_every_batches=args.metrics_every,
+    )
 
     def bench():
         with server:
@@ -489,10 +550,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     totals = server.counters()
     print(
         f"batches: {totals['batches']}, shed: {totals['shed']}, "
-        f"swaps: {totals['swaps']}"
+        f"swaps: {totals['swaps']}, alarms: {totals['alarms']}"
     )
     if obs is not None:
-        _emit_obs(obs, args)
+        _emit_obs(obs, args, health=server.health)
     return 0
 
 

@@ -51,6 +51,7 @@ from repro.schedules import (
 from repro.parallel.buckets import DEFAULT_BUCKET_MB
 from repro.parallel.cluster import SimCluster
 from repro.parallel.faults import LossFaultInjector
+from repro.parallel.mp import MultiprocessCluster
 from repro.train import ResilientTrainer, Trainer, TrainResult
 
 PRESETS = ("smoke", "small")
@@ -155,11 +156,14 @@ class Workload:
         seed: int = 0,
         epochs: int | None = None,
         obs=None,
+        metrics_every: int = 0,
     ) -> TrainResult:
         """Train one configuration from scratch and evaluate each epoch.
 
         ``obs`` is an optional :class:`repro.obs.Obs` handed through to the
-        trainer for span/metric instrumentation.
+        trainer for span/metric instrumentation; ``metrics_every > 0``
+        additionally samples the registry into its time-series ring every
+        that many iterations.
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
@@ -172,6 +176,7 @@ class Workload:
             eval_fn=self.make_eval_fn(model),
             grad_clip=self.grad_clip,
             obs=obs,
+            metrics_every=metrics_every,
         )
         return trainer.run(epochs if epochs is not None else self.epochs)
 
@@ -187,39 +192,72 @@ class Workload:
         seed: int = 0,
         epochs: int | None = None,
         obs=None,
+        metrics_every: int = 0,
+        backend: str = "sim",
     ) -> TrainResult:
-        """Train through a simulated ``workers``-way data-parallel cluster.
+        """Train through a ``workers``-way data-parallel cluster.
 
         Same construction as :meth:`run`, but every batch is sharded
-        across a :class:`~repro.parallel.cluster.SimCluster` and the
-        gradient comes back through the bucketed all-reduce — numerically
-        the run matches :meth:`run` to round-off (the data-parallel
-        equivalence the test suite pins down), while exercising the real
-        sharding/reduction machinery and recording the
-        ``allreduce/<algo>/*`` and ``parallel/overlap/*`` metrics.
+        across a cluster and the gradient comes back through the bucketed
+        all-reduce — numerically the run matches :meth:`run` to round-off
+        (the data-parallel equivalence the test suite pins down), while
+        exercising the real sharding/reduction machinery and recording
+        the ``allreduce/<algo>/*`` and ``parallel/overlap/*`` metrics.
+
+        ``backend`` selects the executor: ``"sim"`` (the default) runs
+        the in-process :class:`~repro.parallel.cluster.SimCluster`;
+        ``"mp"`` runs real OS worker processes through
+        :class:`~repro.parallel.mp.MultiprocessCluster`, with worker
+        telemetry (per-worker ``parallel/w<i>/...`` metrics and merged
+        traces) whenever ``obs`` carries a registry or tracer.
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
         optimizer = self.make_optimizer(model, solver)
-        cluster = SimCluster(
-            list(model.parameters()),
-            model.loss,
-            workers,
-            algorithm=algorithm,
-            bucket_mb=bucket_mb,
-        )
+        total_epochs = epochs if epochs is not None else self.epochs
+        if backend == "sim":
+            cluster = SimCluster(
+                list(model.parameters()),
+                model.loss,
+                workers,
+                algorithm=algorithm,
+                bucket_mb=bucket_mb,
+            )
+            loss_fn = cluster.as_loss_fn()
+        elif backend == "mp":
+            telemetry = obs is not None and (
+                obs.metrics is not None or obs.tracer is not None
+            )
+            # fork-start workers inherit this closure without pickling
+            cluster = MultiprocessCluster(
+                lambda: self.make_model(seed),
+                workers,
+                algorithm=algorithm,
+                bucket_mb=bucket_mb,
+                timeout=120.0,
+                telemetry=telemetry,
+                tracer=obs.tracer if obs is not None else None,
+            )
+            loss_fn = cluster.as_loss_fn(model)
+        else:
+            raise ValueError(f"unknown backend {backend!r} (sim or mp)")
         trainer = Trainer(
-            cluster.as_loss_fn(),
+            loss_fn,
             optimizer,
             schedule,
             train_iter,
             eval_fn=self.make_eval_fn(model),
             grad_clip=self.grad_clip,
             obs=obs,
+            metrics_every=metrics_every,
         )
-        result = trainer.run(epochs if epochs is not None else self.epochs)
+        try:
+            result = trainer.run(total_epochs)
+        finally:
+            if backend == "mp":
+                cluster.close()
         result.final_metrics.setdefault("workers", float(workers))
-        if cluster.last_timeline is not None:
+        if backend == "sim" and cluster.last_timeline is not None:
             result.final_metrics.setdefault(
                 "overlap_fraction", cluster.last_timeline.overlap_fraction
             )
@@ -239,6 +277,8 @@ class Workload:
         keep_last: int | None = 3,
         max_recoveries: int = 2,
         fault_rate: float = 0.0,
+        metrics_every: int = 0,
+        workers: int = 0,
     ) -> TrainResult:
         """Train with fault tolerance: hardened checkpoints + rollback.
 
@@ -247,7 +287,12 @@ class Workload:
         :class:`~repro.train.resilience.ResilientTrainer`: checkpoints
         land in ``checkpoint_dir`` each epoch, ``resume=True`` continues
         a killed run bit-exactly, and ``fault_rate > 0`` arms seeded
-        NaN-loss injection (the recovery-path demo).
+        NaN-loss injection (the recovery-path demo).  ``workers > 0``
+        computes gradients through a telemetry-carrying
+        :class:`~repro.parallel.mp.MultiprocessCluster` (the injector
+        stays driver-side, so a NaN fault still rolls back even though
+        the worker gradients were finite); ``metrics_every > 0`` turns on
+        time-series sampling plus the default training health rules.
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
@@ -255,22 +300,44 @@ class Workload:
         injector = (
             LossFaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
         )
+        cluster = None
+        gradient_fn = None
+        if workers > 0:
+            telemetry = obs is not None and (
+                obs.metrics is not None or obs.tracer is not None
+            )
+            cluster = MultiprocessCluster(
+                lambda: self.make_model(seed),
+                workers,
+                timeout=120.0,
+                telemetry=telemetry,
+                tracer=obs.tracer if obs is not None else None,
+            )
+            def gradient_fn(batch, _cluster=cluster, _model=model):
+                return _cluster.gradient_step(_model, batch)
         trainer = ResilientTrainer(
             model,
             optimizer,
             schedule,
             train_iter,
             checkpoint_dir=checkpoint_dir,
+            gradient_fn=gradient_fn,
             eval_fn=self.make_eval_fn(model),
             grad_clip=self.grad_clip,
             obs=obs,
             keep_last=keep_last,
             max_recoveries=max_recoveries,
             fault_injector=injector,
+            metrics_every=metrics_every,
         )
-        return trainer.run(
-            epochs if epochs is not None else self.epochs, resume=resume
-        )
+        self.last_health = trainer.health  # type: ignore[attr-defined]
+        try:
+            return trainer.run(
+                epochs if epochs is not None else self.epochs, resume=resume
+            )
+        finally:
+            if cluster is not None:
+                cluster.close()
 
     def run_legw(
         self, batch: int, seed: int = 0, epochs: int | None = None

@@ -35,6 +35,18 @@ from repro.obs.metrics import (
     set_active,
 )
 from repro.obs.profiler import OpProfiler, OpStat
+from repro.obs.report import render_report, save_report
+from repro.obs.telemetry import (
+    DeltaExporter,
+    HealthEvent,
+    HealthMonitor,
+    HealthRule,
+    NonFiniteRule,
+    SpikeRule,
+    ThresholdRule,
+    default_serving_rules,
+    default_training_rules,
+)
 from repro.obs.trace import SpanEvent, Tracer
 
 __all__ = [
@@ -52,6 +64,17 @@ __all__ = [
     "activated",
     "TRUST_RATIO_BUCKETS",
     "GRAD_NORM_BUCKETS",
+    "DeltaExporter",
+    "HealthEvent",
+    "HealthRule",
+    "HealthMonitor",
+    "NonFiniteRule",
+    "ThresholdRule",
+    "SpikeRule",
+    "default_training_rules",
+    "default_serving_rules",
+    "render_report",
+    "save_report",
 ]
 
 
@@ -120,5 +143,8 @@ class Obs:
         self.tracer.begin(name)
         try:
             yield self
-        finally:
+        except BaseException as exc:
+            self.tracer.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
             self.tracer.end()

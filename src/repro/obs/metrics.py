@@ -16,6 +16,19 @@ module global:
 
 Snapshots export as JSONL — one JSON object per instrument — which is what
 ``--metrics-out`` writes and what downstream figure tooling ingests.
+
+Beyond point-in-time snapshots the registry is also the substrate of the
+telemetry layer (``docs/observability.md`` §telemetry):
+
+* :meth:`MetricsRegistry.sample` appends a timestamped snapshot of every
+  instrument to a bounded ring buffer (and streams it as one JSONL line
+  when a stream is attached) — the ``--metrics-every N`` time series;
+* :meth:`MetricsRegistry.merge` folds a snapshot produced by *another*
+  registry (typically a worker process's delta, see
+  :class:`repro.obs.telemetry.DeltaExporter`) into this one under a name
+  prefix: counters add, gauges are last-write-wins, histograms merge
+  bucket-wise, and a ``(source, seq)`` pair makes re-delivery of the same
+  delta idempotent.
 """
 
 from __future__ import annotations
@@ -23,6 +36,8 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import time
+from collections import deque
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -123,6 +138,53 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile from the bucket counts.
+
+        Linear interpolation inside the bucket containing the target
+        rank, with the observed ``min``/``max`` standing in for the open
+        edges (below the first bound, above the last) and clamping the
+        estimate — the answer can never leave ``[vmin, vmax]``.  NaN when
+        nothing was observed.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return math.nan
+        rank = (p / 100.0) * self.count
+        cum = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cum + bucket_count >= rank:
+                lower = self.vmin if i == 0 else self.buckets[i - 1]
+                upper = self.vmax if i == len(self.buckets) else self.buckets[i]
+                frac = max(rank - cum, 0.0) / bucket_count
+                value = lower + frac * (upper - lower)
+                return float(min(max(value, self.vmin), self.vmax))
+            cum += bucket_count
+        return self.vmax  # pragma: no cover - rank <= count always hits
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's snapshot into this one, bucket-wise.
+
+        The other histogram must have identical bucket bounds — merging
+        across different ladders would silently misbin.
+        """
+        bounds = tuple(b for b, _ in snap["buckets"] if math.isfinite(b))
+        if bounds != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {snap['name']!r}: bucket bounds "
+                f"{bounds} != {self.buckets}"
+            )
+        for i, (_, bucket_count) in enumerate(snap["buckets"]):
+            self.counts[i] += int(bucket_count)
+        self.count += int(snap["count"])
+        self.total += float(snap["sum"])
+        if snap["count"]:
+            self.vmin = min(self.vmin, float(snap["min"]))
+            self.vmax = max(self.vmax, float(snap["max"]))
+
     def snapshot(self) -> dict:
         bounds = list(self.buckets) + [math.inf]
         return {
@@ -144,10 +206,18 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` are get-or-create: the first call
     for a name fixes its type (and, for histograms, its buckets); later
     calls return the same object or raise on a type mismatch.
+
+    ``ring`` bounds the time-series buffer :meth:`sample` appends to —
+    old samples fall off the far end, so an arbitrarily long run holds a
+    bounded tail in memory (the full series lives in the attached stream
+    file, when one is attached).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, ring: int = 512) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self.samples: deque[dict] = deque(maxlen=ring)
+        self._stream = None  # open file the samples also stream to
+        self._applied: dict[str, int] = {}  # merge source -> last seq
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -192,6 +262,90 @@ class MetricsRegistry:
     def save(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_jsonl())
+
+    # -- the time series -----------------------------------------------------
+
+    def sample(self, step: int | None = None, t: float | None = None) -> dict:
+        """Snapshot every instrument into one timestamped sample record.
+
+        The record is appended to the :attr:`samples` ring buffer and,
+        when a stream is attached (:meth:`stream_to`), written out as one
+        JSONL line immediately — a crashed run keeps the series up to its
+        last sample.  Returns the record (the health monitor consumes it).
+        """
+        record = {
+            "type": "sample",
+            "t": time.time() if t is None else float(t),
+            "step": step,
+            "instruments": self.snapshot(),
+        }
+        self.samples.append(record)
+        if self._stream is not None:
+            self._stream.write(json.dumps(record) + "\n")
+            self._stream.flush()
+        return record
+
+    @property
+    def streaming(self) -> bool:
+        """Whether a JSONL stream is currently attached."""
+        return self._stream is not None
+
+    def stream_to(self, path: str) -> None:
+        """Open ``path`` and stream every subsequent sample to it."""
+        self.close_stream(final_snapshot=False)
+        self._stream = open(path, "w")
+
+    def close_stream(self, final_snapshot: bool = True) -> None:
+        """Detach the stream; by default append the final instrument
+        snapshot first, so one file holds the series *and* the end state."""
+        if self._stream is None:
+            return
+        if final_snapshot:
+            self._stream.write(self.to_jsonl())
+        self._stream.close()
+        self._stream = None
+
+    # -- cross-registry merge ------------------------------------------------
+
+    def merge(
+        self,
+        snapshots: Iterable[dict],
+        prefix: str = "",
+        source: str | None = None,
+        seq: int | None = None,
+    ) -> bool:
+        """Fold instrument snapshots from another registry into this one.
+
+        Semantics per instrument type: **counters add** their value,
+        **gauges are last-write-wins**, **histograms merge bucket-wise**
+        (bounds must match).  Names gain ``prefix`` — the driver labels
+        worker deltas ``parallel/w3/...``.
+
+        When ``source`` and ``seq`` are given, the pair de-duplicates
+        re-delivered deltas: a ``seq`` at or below the last one applied
+        for that source is a no-op (returns ``False``), so a re-sent
+        worker delta can never double-count a counter.
+        """
+        if source is not None and seq is not None:
+            last = self._applied.get(source)
+            if last is not None and seq <= last:
+                return False
+            self._applied[source] = seq
+        for snap in snapshots:
+            name = prefix + snap["name"]
+            kind = snap["type"]
+            if kind == "counter":
+                self.counter(name).inc(float(snap["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(snap["value"]))
+            elif kind == "histogram":
+                bounds = tuple(
+                    b for b, _ in snap["buckets"] if math.isfinite(b)
+                )
+                self.histogram(name, bounds).merge_snapshot(snap)
+            else:
+                raise ValueError(f"unknown instrument type {kind!r}")
+        return True
 
 
 # --------------------------------------------------------------------------

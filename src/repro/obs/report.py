@@ -1,0 +1,235 @@
+"""Run report renderer: time series + flame summary + health log.
+
+Turns one run's telemetry — the sample ring of a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.trace.Tracer`, and a
+:class:`~repro.obs.telemetry.HealthMonitor` — into a single document a
+human (or the future campaign orchestrator) can read without loading
+JSONL into anything.  Two formats from the same content:
+
+* **markdown** — sparkline per sampled instrument, the ASCII flame table
+  in a code fence, the health events as a table;
+* **html** — the same sections in a self-contained page (inline CSS, no
+  assets) so it can be dropped into a browser or embedded in a larger
+  campaign report.
+
+:func:`save_report` picks the format from the file extension
+(``.html``/``.htm`` vs everything else → markdown).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import HealthMonitor
+from repro.obs.trace import Tracer
+from repro.utils.ascii_plot import sparkline
+
+__all__ = ["render_report", "save_report"]
+
+
+def _series_from_samples(samples) -> dict[str, list[float]]:
+    """Per-instrument value series across the sample ring.
+
+    Gauges contribute their value, counters their cumulative value,
+    histograms their running mean — one scalar per sample so every
+    instrument sparklines.  Instruments missing from early samples (a
+    worker that joined late) are padded with NaN to keep x-axes aligned.
+    """
+    series: dict[str, list[float]] = {}
+    for i, sample in enumerate(samples):
+        for snap in sample["instruments"]:
+            kind = snap["type"]
+            if kind in ("counter", "gauge"):
+                value = float(snap["value"])
+            elif kind == "histogram":
+                value = (
+                    float(snap["sum"]) / snap["count"]
+                    if snap["count"]
+                    else math.nan
+                )
+            else:
+                continue
+            track = series.setdefault(snap["name"], [math.nan] * i)
+            track.append(value)
+        for track in series.values():
+            if len(track) <= i:
+                track.append(math.nan)
+    return series
+
+
+def _fmt(v: float) -> str:
+    return "nan" if not math.isfinite(v) else f"{v:.6g}"
+
+
+def _last_finite(track: list[float]) -> float:
+    for v in reversed(track):
+        if math.isfinite(v):
+            return v
+    return math.nan
+
+
+def _sections(
+    title: str,
+    registry: MetricsRegistry | None,
+    tracer: Tracer | None,
+    health: HealthMonitor | None,
+):
+    """The report content, format-agnostic: (kind, heading, payload)."""
+    sections: list[tuple[str, str, object]] = []
+    if registry is not None and registry.samples:
+        rows = []
+        for name in sorted(_series := _series_from_samples(registry.samples)):
+            track = _series[name]
+            rows.append((name, sparkline(track, width=40), _last_finite(track)))
+        sections.append(
+            ("timeseries", f"Time series ({len(registry.samples)} samples)", rows)
+        )
+    if tracer is not None and tracer.events:
+        sections.append(("flame", "Span flame summary", tracer.flame_summary()))
+    if health is not None:
+        events = list(health.events)
+        heading = (
+            f"Health events ({len(events)} fired, "
+            f"{health.critical_count} critical)"
+            if events
+            else "Health events (none fired)"
+        )
+        sections.append(("health", heading, events))
+    return sections
+
+
+def render_report(
+    title: str = "run report",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    health: HealthMonitor | None = None,
+    fmt: str = "markdown",
+) -> str:
+    """Render the telemetry of one run as ``markdown`` or ``html``."""
+    sections = _sections(title, registry, tracer, health)
+    if fmt == "markdown":
+        return _render_markdown(title, sections)
+    if fmt == "html":
+        return _render_html(title, sections)
+    raise ValueError(f"unknown report format {fmt!r} (markdown or html)")
+
+
+def _render_markdown(title, sections) -> str:
+    lines = [f"# {title}", ""]
+    if not sections:
+        lines.append("(no telemetry recorded)")
+    for kind, heading, payload in sections:
+        lines.append(f"## {heading}")
+        lines.append("")
+        if kind == "timeseries":
+            lines.append("| instrument | series | last |")
+            lines.append("| --- | --- | ---: |")
+            for name, spark, last in payload:
+                lines.append(f"| `{name}` | `{spark}` | {_fmt(last)} |")
+        elif kind == "flame":
+            lines.append("```")
+            lines.append(payload)
+            lines.append("```")
+        elif kind == "health":
+            if not payload:
+                lines.append("All rules stayed quiet.")
+            else:
+                lines.append("| step | severity | rule | instrument | message |")
+                lines.append("| ---: | --- | --- | --- | --- |")
+                for ev in payload:
+                    step = "-" if ev.step is None else ev.step
+                    lines.append(
+                        f"| {step} | {ev.severity} | {ev.rule} "
+                        f"| `{ev.instrument}` | {ev.message} |"
+                    )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_CSS = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 64em; }
+h1 { border-bottom: 2px solid #333; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.7em; text-align: left; }
+td.num { text-align: right; }
+code, pre { font-family: monospace; background: #f4f4f4; }
+pre { padding: 0.8em; overflow-x: auto; }
+.critical { color: #b00020; font-weight: bold; }
+.warning { color: #a06000; }
+.info { color: #555; }
+"""
+
+
+def _render_html(title, sections) -> str:
+    esc = _html.escape
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    if not sections:
+        parts.append("<p>(no telemetry recorded)</p>")
+    for kind, heading, payload in sections:
+        parts.append(f"<h2>{esc(heading)}</h2>")
+        if kind == "timeseries":
+            parts.append(
+                "<table><tr><th>instrument</th><th>series</th>"
+                "<th>last</th></tr>"
+            )
+            for name, spark, last in payload:
+                parts.append(
+                    f"<tr><td><code>{esc(name)}</code></td>"
+                    f"<td><code>{esc(spark)}</code></td>"
+                    f"<td class='num'>{_fmt(last)}</td></tr>"
+                )
+            parts.append("</table>")
+        elif kind == "flame":
+            parts.append(f"<pre>{esc(payload)}</pre>")
+        elif kind == "health":
+            if not payload:
+                parts.append("<p>All rules stayed quiet.</p>")
+            else:
+                parts.append(
+                    "<table><tr><th>step</th><th>severity</th><th>rule</th>"
+                    "<th>instrument</th><th>message</th></tr>"
+                )
+                for ev in payload:
+                    step = "-" if ev.step is None else ev.step
+                    parts.append(
+                        f"<tr><td class='num'>{step}</td>"
+                        f"<td class='{ev.severity}'>{esc(ev.severity)}</td>"
+                        f"<td>{esc(ev.rule)}</td>"
+                        f"<td><code>{esc(ev.instrument)}</code></td>"
+                        f"<td>{esc(ev.message)}</td></tr>"
+                    )
+                parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def save_report(
+    path: str,
+    title: str = "run report",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    health: HealthMonitor | None = None,
+) -> str:
+    """Write the report to ``path``; format follows the extension.
+
+    ``.html``/``.htm`` render HTML, anything else markdown.  Returns the
+    format used.
+    """
+    fmt = "html" if path.endswith((".html", ".htm")) else "markdown"
+    with open(path, "w") as fh:
+        fh.write(
+            render_report(
+                title, registry=registry, tracer=tracer, health=health, fmt=fmt
+            )
+        )
+    return fmt

@@ -6,21 +6,34 @@ concurrent worker threads trace independently.  Two consumers:
 
 * :meth:`Tracer.to_chrome_trace` — the ``trace_event`` JSON that
   ``chrome://tracing`` / Perfetto load directly (``ph: "X"`` complete
-  events, microsecond timestamps);
+  events, microsecond timestamps, plus ``ph: "M"`` metadata naming every
+  process and thread that contributed spans);
 * :meth:`Tracer.flame_summary` — an ASCII flame table (total/self time
   per path, rendered through :class:`repro.utils.tables.Table`) for
   terminal use.
 
 The manual ``begin``/``end`` pair underlies the context manager and is
 deliberately forgiving: ``end()`` on an empty stack is a no-op and spans
-left open (an exception path that skipped ``end``) are simply excluded
-from the export rather than corrupting it — a tracer must never take the
-training run down with it.
+left open (a code path that skipped ``end``) are simply excluded from the
+export rather than corrupting it — a tracer must never take the training
+run down with it.  The context manager itself is exception-safe the other
+way around too: a span whose body raises still closes, and the event is
+tagged with the exception (``args.error`` in the Chrome export) so the
+failure is visible on the timeline.
+
+Cross-process merging: a worker process traces into its own ``Tracer``
+and ships :meth:`dump` output (plain dicts, picklable) back to the
+driver, whose tracer :meth:`absorb`\\ s them — events are re-anchored to
+the driver clock via the wall-clock epoch both sides record at
+construction, keep their real ``pid``/``tid``, and can be re-rooted under
+a path prefix (``w3/...``).  The merged export labels each process in
+``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -40,6 +53,8 @@ class SpanEvent:
     start: float  # seconds since the tracer's epoch
     duration: float  # seconds
     tid: int
+    pid: int = 0
+    error: str | None = None  # set when the span's body raised
 
     @property
     def depth(self) -> int:
@@ -57,7 +72,12 @@ class Tracer:
     def __init__(self) -> None:
         self.events: list[SpanEvent] = []
         self._local = threading.local()
+        # the two epochs are read back-to-back so the wall clock can map
+        # perf_counter offsets of *another* tracer onto this one's axis
         self._epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.pid = os.getpid()
+        self.process_names: dict[int, str] = {self.pid: "driver"}
         self._lock = threading.Lock()
 
     # -- span stack --------------------------------------------------------
@@ -79,10 +99,11 @@ class Tracer:
         path = f"{stack[-1][0]}/{name}" if stack else name
         stack.append((path, time.perf_counter()))
 
-    def end(self) -> float | None:
+    def end(self, error: str | None = None) -> float | None:
         """Close the innermost open span, returning its duration.
 
-        Unbalanced calls (no open span) return ``None`` instead of raising.
+        Unbalanced calls (no open span) return ``None`` instead of
+        raising.  ``error`` tags the event when the span's body raised.
         """
         stack = self._stack()
         if not stack:
@@ -96,6 +117,8 @@ class Tracer:
             start=start - self._epoch,
             duration=duration,
             tid=threading.get_ident(),
+            pid=self.pid,
+            error=error,
         )
         with self._lock:
             self.events.append(event)
@@ -103,12 +126,81 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str):
-        """``with tracer.span("forward"): ...`` — exception-safe begin/end."""
+        """``with tracer.span("forward"): ...`` — exception-safe begin/end.
+
+        A raising body still closes the span; the event carries the
+        exception in its ``error`` field and the exception propagates.
+        """
         self.begin(name)
         try:
             yield self
-        finally:
+        except BaseException as exc:
+            self.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
             self.end()
+
+    # -- cross-process merge ------------------------------------------------
+
+    def dump(self, since: int = 0) -> dict:
+        """Events ``since`` (an index into :attr:`events`) as plain dicts.
+
+        Picklable and self-describing — ``pid`` plus the wall-clock epoch
+        let any other tracer :meth:`absorb` this on its own time axis.
+        Incremental shipping: a worker remembers ``len(tracer.events)``
+        after each dump and passes it as the next ``since``.
+        """
+        with self._lock:
+            events = self.events[since:]
+        return {
+            "pid": self.pid,
+            "epoch_wall": self.epoch_wall,
+            "events": [
+                {
+                    "path": ev.path,
+                    "name": ev.name,
+                    "start": ev.start,
+                    "duration": ev.duration,
+                    "tid": ev.tid,
+                    "error": ev.error,
+                }
+                for ev in events
+            ],
+        }
+
+    def absorb(
+        self, dump: dict, prefix: str = "", process_name: str | None = None
+    ) -> int:
+        """Merge another tracer's :meth:`dump` into this timeline.
+
+        Event starts are re-anchored to this tracer's clock through the
+        wall-clock epochs; ``prefix`` re-roots the paths (``w3/step``) so
+        merged flame summaries stay readable; ``process_name`` labels the
+        source pid in the Chrome export.  Returns the event count merged.
+        """
+        offset = float(dump["epoch_wall"]) - self.epoch_wall
+        pid = int(dump["pid"])
+        merged = []
+        for ev in dump["events"]:
+            path = f"{prefix}/{ev['path']}" if prefix else ev["path"]
+            merged.append(
+                SpanEvent(
+                    path=path,
+                    name=ev["name"],
+                    start=ev["start"] + offset,
+                    duration=ev["duration"],
+                    tid=ev["tid"],
+                    pid=pid,
+                    error=ev.get("error"),
+                )
+            )
+        with self._lock:
+            self.events.extend(merged)
+            if process_name is not None and pid != self.pid:
+                self.process_names[pid] = process_name
+            else:
+                self.process_names.setdefault(pid, f"pid {pid}")
+        return len(merged)
 
     # -- aggregation -------------------------------------------------------
 
@@ -153,23 +245,57 @@ class Tracer:
     # -- chrome export -----------------------------------------------------
 
     def to_chrome_trace(self) -> dict:
-        """The ``trace_event`` JSON object (``traceEvents`` complete events)."""
-        return {
-            "displayTimeUnit": "ms",
-            "traceEvents": [
+        """The ``trace_event`` JSON object (``traceEvents`` complete events).
+
+        Metadata events name every contributing process (``process_name``)
+        and thread (``thread_name``), so a merged multi-process trace is
+        labeled in ``chrome://tracing`` instead of showing bare ids.
+        """
+        spans = sorted(self.events, key=lambda e: e.start)
+        meta: list[dict] = []
+        seen_threads: set[tuple[int, int]] = set()
+        for pid in sorted({ev.pid for ev in spans} | set(self.process_names)):
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": self.process_names.get(pid, f"pid {pid}")},
+                }
+            )
+        for ev in spans:
+            key = (ev.pid, ev.tid)
+            if key in seen_threads:
+                continue
+            seen_threads.add(key)
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": ev.pid,
+                    "tid": ev.tid,
+                    "args": {"name": f"thread {ev.tid}"},
+                }
+            )
+        events = []
+        for ev in spans:
+            args: dict = {"path": ev.path}
+            if ev.error is not None:
+                args["error"] = ev.error
+            events.append(
                 {
                     "name": ev.name,
                     "cat": "repro",
                     "ph": "X",
                     "ts": ev.start * 1e6,  # microseconds, per the spec
                     "dur": ev.duration * 1e6,
-                    "pid": 0,
+                    "pid": ev.pid,
                     "tid": ev.tid,
-                    "args": {"path": ev.path},
+                    "args": args,
                 }
-                for ev in sorted(self.events, key=lambda e: e.start)
-            ],
-        }
+            )
+        return {"displayTimeUnit": "ms", "traceEvents": meta + events}
 
     def save_chrome_trace(self, path: str) -> None:
         with open(path, "w") as fh:

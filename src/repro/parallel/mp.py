@@ -38,41 +38,72 @@ Every detected fault and retry increments ``parallel/faults_detected`` /
 ``parallel/retries`` on the active metrics registry (see ``repro.obs``),
 as well as the cluster's own counters; the bucketed reduction also
 records the ``parallel/overlap/*`` timeline gauges.
+
+Telemetry (``telemetry=True``): each worker process additionally runs its
+own :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.Tracer`, recording per-step loss/steps/step-time
+and ``step``/``forward``/``backward`` spans, and ships the *delta* since
+its previous reply (a :class:`~repro.obs.telemetry.DeltaExporter` export
+plus an incremental trace dump) piggybacked on the existing response
+tuples — no extra channel.  The driver merges metric deltas into the
+active registry under ``parallel/w<i>/...`` labels (idempotently, keyed
+by worker slot + pid + sequence number, so a re-delivered delta is a
+no-op and a respawned worker starts a fresh key) and absorbs trace dumps
+into the driver's tracer, re-anchored to the driver clock with real
+pid/tid metadata.  Stale responses from abandoned retry attempts still
+merge their telemetry — the work happened, only the gradient was unused.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.obs.metrics import get_active
+from repro.obs.metrics import MetricsRegistry, get_active
+from repro.obs.telemetry import DeltaExporter
+from repro.obs.trace import Tracer
 from repro.parallel.buckets import (
     BACKWARD_FRACTION,
     DEFAULT_BUCKET_MB,
     GradientBuckets,
 )
-from repro.parallel.cluster import shard_batch
+from repro.parallel.cluster import _InstalledGradients, shard_batch
 from repro.parallel.cost import CommModel
 from repro.parallel.faults import FaultSpec, WorkerFaultError
 from repro.parallel.perfmodel import DeviceModel
 
 
-def _worker_main(factory, req_q, resp_q) -> None:
+#: ``le`` bounds (milliseconds) for the per-worker step-time histogram.
+STEP_MS_BUCKETS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0)
+
+
+def _worker_main(factory, req_q, resp_q, telemetry: bool = False) -> None:
     """Persistent worker loop: cache the replica, serve gradient requests.
 
     Each request is ``(tag, updates, shard, fault)`` with
     ``tag = (step, shard_idx, attempt)``; ``updates`` maps parameter names
     to the arrays this replica is missing (empty when already current).
-    Replies are ``(tag, "ok", (loss, grads))`` or ``(tag, "error", msg)``
-    — compute exceptions (including injected crashes) are reported, never
-    allowed to kill the loop, so the replica cache survives faults.
+    Replies are ``(tag, "ok", (loss, grads, tele))`` or
+    ``(tag, "error", msg)`` — compute exceptions (including injected
+    crashes) are reported, never allowed to kill the loop, so the replica
+    cache survives faults.  With ``telemetry`` on, ``tele`` carries the
+    worker's metric delta and incremental trace dump since its last ok
+    reply (``None`` otherwise); a faulted attempt's spans ship with the
+    next ok reply, tagged with the exception.
     """
     model = None
     params = None
+    registry = tracer = exporter = None
+    trace_sent = 0
+    if telemetry:
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        exporter = DeltaExporter(registry)
     while True:
         msg = req_q.get()
         if msg is None:
@@ -92,15 +123,36 @@ def _worker_main(factory, req_q, resp_q) -> None:
                 spec, step, shard_idx, attempt = fault
                 kind = spec.pre_compute(step, shard_idx, attempt)
             model.zero_grad()
-            loss = model.loss(shard)
-            loss.backward()
+            t0 = time.perf_counter()
+            if tracer is None:
+                loss = model.loss(shard)
+                loss.backward()
+            else:
+                with tracer.span("step"):
+                    with tracer.span("forward"):
+                        loss = model.loss(shard)
+                    with tracer.span("backward"):
+                        loss.backward()
             grads = {
                 name: (p.grad if p.grad is not None else np.zeros_like(p.data))
                 for name, p in params.items()
             }
             if kind == "nan":
                 FaultSpec.poison(grads)
-            resp_q.put((tag, "ok", (float(loss.data), grads)))
+            tele = None
+            if telemetry:
+                registry.counter("steps").inc()
+                registry.gauge("loss").set(float(loss.data))
+                registry.histogram("step_ms", STEP_MS_BUCKETS).observe(
+                    (time.perf_counter() - t0) * 1e3
+                )
+                tele = {
+                    "pid": os.getpid(),
+                    "metrics": exporter.export(),
+                    "trace": tracer.dump(trace_sent),
+                }
+                trace_sent = len(tracer.events)
+            resp_q.put((tag, "ok", (float(loss.data), grads, tele)))
         except Exception as exc:  # injected crash or genuine compute error
             resp_q.put((tag, "error", f"{type(exc).__name__}: {exc}"))
 
@@ -116,11 +168,12 @@ class _Worker:
 
     __slots__ = ("proc", "req_q", "resp_q", "sent_version", "outstanding")
 
-    def __init__(self, ctx, factory):
+    def __init__(self, ctx, factory, telemetry: bool = False):
         self.req_q = ctx.Queue()
         self.resp_q = ctx.Queue()
         self.proc = ctx.Process(
-            target=_worker_main, args=(factory, self.req_q, self.resp_q),
+            target=_worker_main,
+            args=(factory, self.req_q, self.resp_q, telemetry),
             daemon=True,
         )
         self.proc.start()
@@ -164,6 +217,14 @@ class MultiprocessCluster:
     comm, device:
         α-β link and device models for the simulated overlap timeline
         gauges (see :mod:`repro.parallel.buckets`).
+    telemetry:
+        Run a local metrics registry + tracer inside every worker and
+        ship deltas back on the response channel; the driver merges them
+        into the active registry (``parallel/w<i>/...``) and ``tracer``.
+    tracer:
+        The driver-side :class:`~repro.obs.trace.Tracer` that absorbs
+        worker trace dumps (typically ``obs.tracer``); ``None`` discards
+        worker spans but keeps the metric merge.
     """
 
     def __init__(
@@ -179,6 +240,8 @@ class MultiprocessCluster:
         fault_spec: FaultSpec | None = None,
         comm: CommModel | None = None,
         device: DeviceModel | None = None,
+        telemetry: bool = False,
+        tracer: Tracer | None = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -196,6 +259,8 @@ class MultiprocessCluster:
         self.fault_spec = fault_spec
         self.comm = comm or CommModel()
         self.device = device or DeviceModel(t_fixed=0.0, t_sample=1.0)
+        self.telemetry = telemetry
+        self.tracer = tracer
         self.faults_detected = 0
         self.retries = 0
         # delta-broadcast accounting (exposed for tests and curiosity)
@@ -209,7 +274,8 @@ class MultiprocessCluster:
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         self._workers = [
-            _Worker(self._ctx, model_factory) for _ in range(n_workers)
+            _Worker(self._ctx, model_factory, telemetry)
+            for _ in range(n_workers)
         ]
 
     # -- fault bookkeeping --------------------------------------------------
@@ -225,6 +291,33 @@ class MultiprocessCluster:
         reg = get_active()
         if reg is not None:
             reg.counter("parallel/retries").inc()
+
+    # -- telemetry merge ----------------------------------------------------
+
+    def _merge_tele(self, w: int, tele: dict | None) -> None:
+        """Fold one worker reply's telemetry into the driver's view.
+
+        Metric deltas land in the active registry under
+        ``parallel/w<i>/...``; the ``(slot, pid, seq)`` key makes a
+        re-delivered delta a no-op while letting a respawned worker (new
+        pid, seq restarting at 1) through.  Trace dumps are absorbed into
+        :attr:`tracer` re-rooted under ``w<i>/``.
+        """
+        if tele is None:
+            return
+        reg = get_active()
+        if reg is not None:
+            delta = tele["metrics"]
+            reg.merge(
+                delta["metrics"],
+                prefix=f"parallel/w{w}/",
+                source=f"w{w}:{tele['pid']}",
+                seq=delta["seq"],
+            )
+        if self.tracer is not None and tele["trace"]["events"]:
+            self.tracer.absorb(
+                tele["trace"], prefix=f"w{w}", process_name=f"worker {w}"
+            )
 
     # -- the delta broadcast ------------------------------------------------
 
@@ -258,7 +351,9 @@ class MultiprocessCluster:
         if not worker.proc.is_alive():
             # the process died outright: respawn with an empty replica
             # cache (sent_version 0 forces a full state resend)
-            self._workers[w] = worker = _Worker(self._ctx, self.model_factory)
+            self._workers[w] = worker = _Worker(
+                self._ctx, self.model_factory, self.telemetry
+            )
         updates = self._updates_for(worker)
         worker.req_q.put((tag, updates, shard, fault))
         worker.sent_version = self._version
@@ -300,6 +395,11 @@ class MultiprocessCluster:
             worker.outstanding -= 1
             if got_tag == tag:
                 return status, payload
+            if status == "ok":
+                # a stale response from an abandoned retry attempt: the
+                # gradient is unused but the work happened — keep its
+                # telemetry so worker counters stay truthful
+                self._merge_tele(w, payload[2])
 
     def _retry_worker(self, exclude: int) -> int:
         """Least-loaded worker other than the one that just faulted."""
@@ -346,7 +446,8 @@ class MultiprocessCluster:
                     status, payload = self._await(w, (step, i, attempts[i]))
                     if status == "error":
                         raise WorkerFaultError(f"shard {i}: {payload}")
-                    loss, grads = payload
+                    loss, grads, tele = payload
+                    self._merge_tele(w, tele)
                     if not _shard_finite(loss, grads):
                         raise WorkerFaultError(
                             f"shard {i} returned non-finite loss/gradients"
@@ -418,6 +519,23 @@ class MultiprocessCluster:
                 comm=self.comm,
             ).record(reg)
         return total_loss
+
+    # -- Trainer integration -----------------------------------------------
+
+    def as_loss_fn(self, model) -> Callable[[Sequence[np.ndarray]], object]:
+        """Adapter so the trainers can train through this cluster.
+
+        Mirrors :meth:`repro.parallel.cluster.SimCluster.as_loss_fn`: the
+        returned callable runs :meth:`gradient_step` (installing the
+        reduced gradients into ``model``) and hands the loop a loss-like
+        object whose ``backward()`` is a no-op.
+        """
+
+        def loss_fn(batch):
+            mean_loss = self.gradient_step(model, batch)
+            return _InstalledGradients(mean_loss)
+
+        return loss_fn
 
     def close(self) -> None:
         for worker in self._workers:

@@ -18,7 +18,10 @@ measured timings vary run to run):
 Both return a :class:`LoadReport` with throughput and p50/p95/p99
 latency percentiles plus the completed requests themselves, so callers
 can check result *content* (the determinism gate compares per-request
-predictions across two seeded runs).
+predictions across two seeded runs).  Percentiles are computed through
+:meth:`repro.obs.metrics.Histogram.percentile` over the same
+``serve/latency_ms`` bucket ladder the server records — one estimator
+for the whole stack, so a load report and a scraped histogram agree.
 """
 
 from __future__ import annotations
@@ -30,8 +33,9 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.metrics import Histogram
 from repro.serve.batcher import Request
-from repro.serve.server import Server
+from repro.serve.server import LATENCY_MS_BUCKETS, Server
 from repro.utils.rng import as_generator, spawn
 
 __all__ = ["LoadReport", "run_open_loop", "run_closed_loop"]
@@ -57,11 +61,26 @@ class LoadReport:
         """Completed requests per second of generation wall-clock."""
         return self.completed / self.duration if self.duration > 0 else 0.0
 
+    def _latency_histogram(self) -> Histogram:
+        """The latencies folded into the serving bucket ladder (cached)."""
+        hist: Histogram | None = self.__dict__.get("_hist")
+        if hist is None or hist.count != len(self.latencies_ms):
+            hist = Histogram("latency_ms", LATENCY_MS_BUCKETS)
+            for v in self.latencies_ms:
+                hist.observe(v)
+            self.__dict__["_hist"] = hist
+        return hist
+
     def percentile(self, q: float) -> float:
-        """Latency percentile in milliseconds (NaN when nothing completed)."""
+        """Latency percentile in milliseconds (NaN when nothing completed).
+
+        A bucketed estimate via :meth:`Histogram.percentile` on the
+        server's ``serve/latency_ms`` ladder — interpolated within the
+        rank's bucket and clamped to the observed min/max.
+        """
         if not self.latencies_ms:
             return float("nan")
-        return float(np.percentile(np.asarray(self.latencies_ms), q))
+        return self._latency_histogram().percentile(q)
 
     @property
     def p50(self) -> float:

@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from repro.obs.metrics import get_active
+from repro.obs.telemetry import HealthMonitor, default_serving_rules
 from repro.serve.batcher import SHED, DynamicBatcher, Request
 from repro.serve.engine import InferenceEngine
 from repro.utils.checkpoint import CheckpointManager
@@ -70,6 +71,16 @@ class Server:
         ``serve/batch`` span.  Metrics always go to the *active* registry
         (:func:`repro.obs.get_active`), matching every other producer in
         the stack.
+    metrics_every_batches / health:
+        ``metrics_every_batches > 0`` makes the worker thread sample the
+        active registry into its time-series ring every that many
+        dispatched batches and route each sample through a
+        :class:`~repro.obs.telemetry.HealthMonitor` (``health``,
+        defaulting to :func:`~repro.obs.telemetry.default_serving_rules`
+        sized to the batcher's queue capacity).  A **critical** event —
+        the shed-rate alarm — bumps ``alarms_total`` and the
+        ``serve/alarms`` counter; the full event log stays on
+        ``server.health.events`` for the run report.
     """
 
     def __init__(
@@ -80,16 +91,27 @@ class Server:
         manager: CheckpointManager | None = None,
         swap_poll_batches: int = 16,
         obs=None,
+        metrics_every_batches: int = 0,
+        health: HealthMonitor | None = None,
     ) -> None:
         self.engine = engine
         self.batcher = batcher if batcher is not None else DynamicBatcher()
         self.manager = manager
         self.swap_poll_batches = max(1, int(swap_poll_batches))
         self.obs = obs
+        if metrics_every_batches < 0:
+            raise ValueError("metrics_every_batches must be >= 0")
+        self.metrics_every_batches = int(metrics_every_batches)
+        if health is None and metrics_every_batches > 0:
+            health = HealthMonitor(
+                default_serving_rules(self.batcher.max_queue_depth)
+            )
+        self.health = health
         self.requests_total = 0
         self.shed_total = 0
         self.swaps_total = 0
         self.batches_total = 0
+        self.alarms_total = 0
         self._pending_swap: pathlib.Path | None = None
         self._swap_events: list[threading.Event] = []
         self._swap_lock = threading.Lock()
@@ -244,9 +266,30 @@ class Server:
                     lat.observe(req.latency * 1e3)
             reg.gauge("serve/queue_depth").set(self.batcher.depth())
 
+    def _sample_telemetry(self) -> None:
+        """One time-series sample + health pass (worker thread only).
+
+        A critical event — the shed-rate alarm in the default rule set —
+        is counted rather than raised: the serving loop must keep
+        answering requests while alarming.
+        """
+        reg = get_active()
+        if reg is None:
+            return
+        sample = reg.sample()
+        if self.health is None:
+            return
+        for event in self.health.observe(sample):
+            if event.critical:
+                with self._stats_lock:
+                    self.alarms_total += 1
+                reg.counter("serve/alarms").inc()
+
     def _loop(self) -> None:
         tracer = getattr(self.obs, "tracer", None) if self.obs else None
         since_poll = 0
+        since_sample = 0
+        sample_every = self.metrics_every_batches
         while True:
             self._apply_pending_swap()
             batch = self.batcher.next_batch(timeout=0.01)
@@ -265,6 +308,11 @@ class Server:
             finally:
                 if tracer is not None:
                     tracer.end()
+            if sample_every:
+                since_sample += 1
+                if since_sample >= sample_every:
+                    since_sample = 0
+                    self._sample_telemetry()
             since_poll += 1
             if self.manager is not None and since_poll >= self.swap_poll_batches:
                 since_poll = 0
@@ -287,6 +335,7 @@ class Server:
             "shed": self.shed_total,
             "swaps": self.swaps_total,
             "batches": self.batches_total,
+            "alarms": self.alarms_total,
         }
 
     def predict_sync(self, payload: np.ndarray, seq_len: int | None = None,

@@ -36,6 +36,7 @@ from typing import Callable, Iterable
 
 from repro.obs import Obs
 from repro.obs.metrics import GRAD_NORM_BUCKETS
+from repro.obs.telemetry import HealthMonitor, default_training_rules
 from repro.optim.base import Optimizer
 from repro.optim.clip import clip_grad_norm
 from repro.optim.ema import EMAWeights
@@ -128,6 +129,18 @@ class ResilientTrainer:
         Optional ``(iteration, loss) -> loss`` hook, e.g.
         :class:`~repro.parallel.faults.LossFaultInjector` — how the tests
         and the demo produce deterministic divergence.
+    metrics_every / health:
+        ``metrics_every > 0`` samples the metrics registry into its
+        time-series ring every that many iterations and routes each
+        sample through a :class:`~repro.obs.telemetry.HealthMonitor`
+        (``health``, defaulting to one with
+        :func:`~repro.obs.telemetry.default_training_rules`).  Any
+        **critical** :class:`~repro.obs.telemetry.HealthEvent` raised on
+        a periodic sample triggers a rollback; a non-finite loss is
+        additionally force-sampled before its rollback so the
+        ``nonfinite-loss`` rule fires as a structured event on the very
+        iteration it recovers from.  The monitor's event log feeds the
+        run report.
     """
 
     def __init__(
@@ -151,6 +164,8 @@ class ResilientTrainer:
         loss_scaler: DynamicLossScaler | None = None,
         ema: EMAWeights | None = None,
         fault_injector: Callable[[int, float], float] | None = None,
+        metrics_every: int = 0,
+        health: HealthMonitor | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -179,6 +194,12 @@ class ResilientTrainer:
         self.loss_scaler = loss_scaler
         self.ema = ema
         self.fault_injector = fault_injector
+        if metrics_every < 0:
+            raise ValueError("metrics_every must be >= 0")
+        self.metrics_every = int(metrics_every)
+        if health is None and metrics_every > 0:
+            health = HealthMonitor(default_training_rules())
+        self.health = health
         self.recoveries = 0
         self.faults_detected = 0
 
@@ -244,10 +265,18 @@ class ResilientTrainer:
                 return self._run(epochs, log_every, resume)
         return self._run(epochs, log_every, resume)
 
+    def _sample_health(self, mreg, iteration: int) -> bool:
+        """Sample the registry, run the monitor; True on a critical event."""
+        sample = mreg.sample(step=iteration)
+        if self.health is None:
+            return False
+        return any(ev.critical for ev in self.health.observe(sample))
+
     def _run(self, epochs: int, log_every: int, resume: bool) -> TrainResult:
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         mreg = obs.metrics if obs is not None else None
+        sample_every = self.metrics_every if mreg is not None else 0
         log = RunLog()
         result = TrainResult(log=log)
 
@@ -287,6 +316,12 @@ class ResilientTrainer:
                 if self.fault_injector is not None:
                     loss_val = self.fault_injector(iteration, loss_val)
                 if not math.isfinite(loss_val):
+                    if sample_every:
+                        # force-sample so the nonfinite-loss rule raises a
+                        # structured HealthEvent on the iteration being
+                        # rolled back, with the bad value in the series
+                        mreg.gauge("train/loss").set(loss_val)
+                        self._sample_health(mreg, iteration)
                     faulted_at = iteration
                     break
                 if self.gradient_fn is None:
@@ -322,6 +357,13 @@ class ResilientTrainer:
                         mreg.histogram(
                             "train/grad_norm", GRAD_NORM_BUCKETS
                         ).observe(norm)
+                    if sample_every and (iteration + 1) % sample_every == 0:
+                        if self._sample_health(mreg, iteration):
+                            # a critical health rule (grad-norm blow-up,
+                            # trust-ratio collapse, ...) is a fault even
+                            # though the loss itself still looks finite
+                            faulted_at = iteration
+                            break
                 if iteration % log_every == 0:
                     _record_point(log, iteration, loss_val, lr, norm)
                 iteration += 1
@@ -364,6 +406,8 @@ class ResilientTrainer:
         result.final_metrics.setdefault("diverged", 0.0)
         result.final_metrics["recoveries"] = float(self.recoveries)
         result.final_metrics["faults_detected"] = float(self.faults_detected)
+        if self.health is not None:
+            result.final_metrics["health_events"] = float(len(self.health.events))
         return result
 
     def _rollback(self) -> tuple[int, int]:

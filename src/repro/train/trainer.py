@@ -93,6 +93,12 @@ class Trainer:
         Optional :class:`repro.obs.Obs`; enabled instruments receive
         phase spans and per-iteration metrics.  ``None`` (the default)
         keeps the loop on the uninstrumented seed path.
+    metrics_every:
+        Sample the metrics registry into its time-series ring (and any
+        attached JSONL stream) every this many iterations; ``0`` (the
+        default) keeps end-of-run snapshots only.  With metrics disabled
+        the flag is inert — the hot loop sees one hoisted integer and
+        allocates nothing per iteration.
     """
 
     def __init__(
@@ -105,7 +111,10 @@ class Trainer:
         grad_clip: float | None = None,
         callbacks: list | None = None,
         obs: Obs | None = None,
+        metrics_every: int = 0,
     ) -> None:
+        if metrics_every < 0:
+            raise ValueError("metrics_every must be >= 0")
         self.loss_fn = loss_fn
         self.optimizer = optimizer
         self.schedule = schedule
@@ -114,6 +123,7 @@ class Trainer:
         self.grad_clip = grad_clip
         self.callbacks = list(callbacks or [])
         self.obs = obs
+        self.metrics_every = metrics_every
 
     def run(self, epochs: int, log_every: int = 1) -> TrainResult:
         obs = self.obs
@@ -134,6 +144,9 @@ class Trainer:
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         mreg = obs.metrics if obs is not None else None
+        # hoisted so the disabled path never even tests the flag's truthiness
+        # against an allocation — one int compare per iteration, nothing more
+        sample_every = self.metrics_every if mreg is not None else 0
         log = RunLog()
         result = TrainResult(log=log)
         iteration = 0
@@ -161,6 +174,11 @@ class Trainer:
                 if not math.isfinite(loss_val):
                     result.diverged = True
                     _record_point(log, iteration, loss_val, lr, None)
+                    if mreg is not None:
+                        # the divergence point must land in the time series
+                        mreg.gauge("train/loss").set(loss_val)
+                        if sample_every:
+                            mreg.sample(step=iteration)
                     result.epochs_completed = epoch
                     result.final_metrics["diverged"] = 1.0
                     return result
@@ -191,6 +209,8 @@ class Trainer:
                         mreg.histogram(
                             "train/grad_norm", GRAD_NORM_BUCKETS
                         ).observe(norm)
+                    if sample_every and (iteration + 1) % sample_every == 0:
+                        mreg.sample(step=iteration)
                 if iteration % log_every == 0:
                     _record_point(log, iteration, loss_val, lr, norm)
                     last_logged = iteration

@@ -121,11 +121,12 @@ class TestTrainParallel:
         assert main(["train", "mnist", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
 
-    def test_workers_rejects_checkpoint_combo(self, capsys):
+    def test_workers_rejects_checkpoint_combo_on_sim_backend(self, capsys):
+        # only the mp backend can drive the resilient trainer
         assert main(
             ["train", "mnist", "--workers", "2", "--checkpoint-dir", "x"]
         ) == 2
-        assert "--checkpoint-dir" in capsys.readouterr().err
+        assert "--parallel-backend mp" in capsys.readouterr().err
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
@@ -141,7 +142,7 @@ class TestTrainParallel:
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "parallel: 3 workers, tree all-reduce" in out
+        assert "parallel: 3 workers (sim), tree all-reduce" in out
         names = [json.loads(l)["name"] for l in open(metrics)]
         assert "allreduce/tree/calls" in names
         assert "parallel/buckets/reduced" in names

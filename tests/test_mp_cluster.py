@@ -197,3 +197,57 @@ class TestPersistentWorkers:
         assert 0.0 <= registry.gauge("parallel/overlap/fraction").value <= 1.0
         assert registry.gauge("parallel/overlap/step_s").value > 0
         assert registry.counter("parallel/broadcast/params").value > 0
+
+
+@pytest.mark.slow
+class TestWorkerTelemetry:
+    """Workers ship metric deltas and trace dumps on the result channel."""
+
+    def test_per_worker_metrics_and_merged_trace(self):
+        from repro.obs import Tracer
+        from repro.obs.metrics import MetricsRegistry, activated
+
+        train, _ = make_sequential_mnist(16, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        model = tiny_model_factory()
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with activated(registry):
+            with MultiprocessCluster(
+                tiny_model_factory, n_workers=2,
+                telemetry=True, tracer=tracer,
+            ) as cluster:
+                for _ in range(3):
+                    cluster.gradient_step(model, batch)
+        for w in range(2):
+            assert registry.counter(f"parallel/w{w}/steps").value == 3.0
+            assert np.isfinite(registry.gauge(f"parallel/w{w}/loss").value)
+            hist = registry.histogram(f"parallel/w{w}/step_ms")
+            assert hist.count == 3
+            assert np.isfinite(hist.percentile(50.0))
+        # one merged timeline: worker spans re-rooted under w<N>/ with the
+        # real worker pids, and each pid labeled in the Chrome export
+        paths = {e.path for e in tracer.events}
+        assert any(p.startswith("w0/step") for p in paths)
+        assert any(p.startswith("w1/step") for p in paths)
+        worker_pids = {e.pid for e in tracer.events}
+        assert len(worker_pids) == 2 and tracer.pid not in worker_pids
+        trace = tracer.to_chrome_trace()
+        labels = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert labels == {"driver", "worker 0", "worker 1"}
+
+    def test_telemetry_off_ships_nothing(self):
+        from repro.obs.metrics import MetricsRegistry, activated
+
+        train, _ = make_sequential_mnist(8, 8, rng=1, size=8)
+        batch = (train.inputs, train.targets)
+        model = tiny_model_factory()
+        registry = MetricsRegistry()
+        with activated(registry):
+            with MultiprocessCluster(tiny_model_factory, n_workers=2) as cluster:
+                cluster.gradient_step(model, batch)
+        assert registry.names("parallel/w") == []

@@ -70,7 +70,7 @@ class TestTracer:
         with tr.span("closed"):
             pass
         trace = tr.to_chrome_trace()
-        names = [e["name"] for e in trace["traceEvents"]]
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
         assert names == ["closed"]
         assert tr.open_spans == 1
 
@@ -83,14 +83,20 @@ class TestTracer:
         tr.save_chrome_trace(str(path))
         loaded = json.loads(path.read_text())
         assert loaded["displayTimeUnit"] == "ms"
-        events = loaded["traceEvents"]
-        assert len(events) == 2
-        for ev in events:
-            assert ev["ph"] == "X"
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == 2
+        for ev in spans:
             assert ev["ts"] >= 0 and ev["dur"] >= 0
             assert {"name", "pid", "tid", "cat", "args"} <= set(ev)
-        # events sorted by start time: parent opened first
-        assert events[0]["name"] == "parent"
+        # spans sorted by start time: parent opened first
+        assert spans[0]["name"] == "parent"
+        # per-spec metadata: a process_name and a thread_name event
+        meta_names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name"} <= meta_names
+        proc = next(e for e in meta if e["name"] == "process_name")
+        assert proc["pid"] == spans[0]["pid"]
+        assert proc["args"]["name"] == "driver"
 
     def test_totals_and_self_times(self):
         tr = Tracer()

@@ -242,10 +242,11 @@ class TestCliObservability:
         assert "op profile" in out
         assert "forward" in out and "backward" in out
         assert "trace flame summary" in out
-        # valid Chrome trace_event JSON
+        # valid Chrome trace_event JSON: metadata then the span events
         loaded = json.loads(trace.read_text())
-        assert loaded["traceEvents"] and loaded["traceEvents"][0]["ph"] == "X"
-        paths = {e["args"]["path"] for e in loaded["traceEvents"]}
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        paths = {e["args"]["path"] for e in spans}
         assert "train/forward" in paths and "train/backward" in paths
         # metrics JSONL includes per-layer trust ratios
         names = [
