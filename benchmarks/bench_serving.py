@@ -22,12 +22,28 @@ it may not stall).  A second run at the same seed and rate must return
 identical per-request labels — the load is seed-deterministic end to
 end.
 
-A full (non-smoke) run refreshes ``BENCH_serving.json`` at the repo root
-— the committed reference numbers for this machine class.
+The second bench scales *out* instead of *up*: ``test_fleet_replica_scaling``
+runs the same workload through a :class:`~repro.serve.Router` fleet of
+1 → 2 → 4 replica processes, each offered the same per-replica load, and
+gates near-linear aggregate throughput (>= 3x at 4 replicas) with zero
+sheds inside a fixed p95 budget.  Replica compute is paced by
+:class:`~repro.serve.PacedEngine` (a fixed-plus-per-sample device model,
+the serving twin of the overlap bench's α–β link model): paced sleeps
+overlap freely across processes, so the measurement isolates the routing
+machinery — dispatch, IPC, policy quality — from how many host cores the
+bench machine happens to have.  The fleet section also drives a
+coordinated hot-swap under traffic and records that zero post-convergence
+responses carried a stale version.
+
+A full (non-smoke) run refreshes its own section of
+``BENCH_serving.json`` at the repo root (single-server keys and the
+``fleet`` section merge without clobbering each other) — the committed
+reference numbers for this machine class.
 
 Set ``REPRO_BENCH_SMOKE=1`` (the CI leg does) to run a short stream and
 skip the gates: that exercises the whole stack — batcher, server thread,
-load generator — without gating CI on shared-runner timing.
+router, replica processes, load generator — without gating CI on
+shared-runner timing.
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
 
 import numpy as np
 from conftest import save_result
@@ -43,10 +60,13 @@ from repro.models import MnistLSTMClassifier
 from repro.serve import (
     DynamicBatcher,
     InferenceEngine,
+    PacedEngine,
+    Router,
     Server,
     run_closed_loop,
     run_open_loop,
 )
+from repro.utils.checkpoint import CheckpointManager
 
 SEQ_LEN, INPUT, HIDDEN = 28, 28, 32  # paper timesteps, overhead-bound cell
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -58,6 +78,34 @@ P95_FACTOR = 5.0
 SEQ_RPC = 4 if SMOKE else 64
 DURATION = 0.2 if SMOKE else 2.0
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+# -- fleet bench knobs -------------------------------------------------------
+# paced service time: 50 ms per dispatch + 1 ms per sample; a full batch
+# of 16 takes 66 ms, so one replica's ceiling is 16/0.066 ≈ 242 req/s
+PACE_FIXED_MS = 50.0
+PACE_SAMPLE_MS = 1.0
+FLEET_MAX_BATCH = 16
+FLEET_UTILISATION = 0.7  # offered load as a fraction of n * ceiling
+FLEET_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+FLEET_DURATION = 1.0 if SMOKE else 5.0
+FLEET_TARGET = 3.0  # aggregate throughput at 4 replicas vs 1
+FLEET_P95_BUDGET_MS = 5.0 * (PACE_FIXED_MS + FLEET_MAX_BATCH * PACE_SAMPLE_MS)
+
+
+def _merge_bench_json(update: dict) -> None:
+    """Fold ``update`` into ``BENCH_serving.json``, keeping other sections.
+
+    Both benches write here; a plain ``write_text`` from either would
+    clobber the other's numbers.
+    """
+    existing: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(update)
+    BENCH_JSON.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def _payload(rng: np.random.Generator, i: int):
@@ -138,8 +186,7 @@ def test_dynamic_batching_throughput(benchmark):
     assert dyn.p95 <= p95_budget, (
         f"dynamic p95 {dyn.p95:.1f} ms blew the {p95_budget:.1f} ms budget"
     )
-    BENCH_JSON.write_text(
-        json.dumps(
+    _merge_bench_json(
             {
                 "bench": "serving",
                 "workload": "mnist-lstm",
@@ -170,8 +217,185 @@ def test_dynamic_batching_throughput(benchmark):
                 "target_speedup": TARGET_SPEEDUP,
                 "p95_budget_ms": round(p95_budget, 1),
                 "deterministic": True,
-            },
-            indent=2,
+            }
+    )
+
+
+# -- the scale-out fleet bench ----------------------------------------------
+
+
+def _fleet_engine_factory():
+    """One paced engine per replica process (identical weights, rng=0)."""
+    model = MnistLSTMClassifier(
+        rng=0, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+    )
+    return PacedEngine(
+        InferenceEngine(model, "mnist"),
+        t_fixed_ms=PACE_FIXED_MS,
+        t_sample_ms=PACE_SAMPLE_MS,
+    )
+
+
+def _fleet_ceiling_rps() -> float:
+    """One paced replica's saturation throughput (full batches)."""
+    return FLEET_MAX_BATCH / (
+        (PACE_FIXED_MS + FLEET_MAX_BATCH * PACE_SAMPLE_MS) / 1e3
+    )
+
+
+def _fleet_point(n: int, rate: float):
+    """Offer ``rate`` req/s to an ``n``-replica fleet; return the report."""
+    router = Router(
+        _fleet_engine_factory,
+        replicas=n,
+        policy="jsq",
+        batcher=dict(
+            max_batch_size=FLEET_MAX_BATCH,
+            max_wait_ms=5.0,
+            max_queue_depth=4096,
+        ),
+        telemetry=False,
+    )
+    with router:
+        time.sleep(0.5)  # let every replica finish building its engine
+        report = run_open_loop(
+            router, _payload, rate=rate, duration=FLEET_DURATION, seed=0,
+            timeout=120,
         )
-        + "\n"
+        totals = router.counters()
+    return report, totals
+
+
+def _fleet_swap_staleness(tmp_path: pathlib.Path) -> int:
+    """Coordinated hot-swap under traffic; returns stale-response count.
+
+    Streams requests at a 2-replica fleet, lands a newer checkpoint,
+    waits for fleet convergence, then counts post-convergence responses
+    whose ``version`` is not the new step.  Everything in flight across
+    the swap must complete unshed.
+    """
+    manager = CheckpointManager(tmp_path)
+    first = MnistLSTMClassifier(
+        rng=0, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+    )
+    manager.save(first, iteration=1, step=1)
+
+    def factory():
+        model = MnistLSTMClassifier(
+            rng=0, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+        )
+        engine = InferenceEngine(model, "mnist")
+        engine.load_version(CheckpointManager(tmp_path).latest())
+        return PacedEngine(engine, t_fixed_ms=5.0, t_sample_ms=0.5)
+
+    rng = np.random.default_rng(0)
+    router = Router(
+        factory,
+        replicas=2,
+        policy="round-robin",
+        batcher=dict(max_batch_size=8, max_wait_ms=1.0, max_queue_depth=4096),
+        telemetry=False,
+    )
+    with router:
+        time.sleep(0.3)
+        inflight = [
+            router.submit(rng.standard_normal((SEQ_LEN, INPUT)))
+            for _ in range(32)
+        ]
+        second = MnistLSTMClassifier(
+            rng=1, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+        )
+        new_path = manager.save(second, iteration=2, step=2)
+        converged = router.request_swap(new_path)
+        assert converged.wait(60.0), "fleet swap never converged"
+        post = [
+            router.submit(rng.standard_normal((SEQ_LEN, INPUT)))
+            for _ in range(16)
+        ]
+        for req in inflight + post:
+            assert req.wait(60.0), "request dropped across the swap"
+            assert not req.shed and "label" in req.result
+        stale = sum(1 for req in post if req.result["version"] != 2)
+    return stale
+
+
+def test_fleet_replica_scaling(benchmark, tmp_path):
+    ceiling = _fleet_ceiling_rps()
+
+    def measure():
+        points = []
+        for n in FLEET_COUNTS:
+            rate = FLEET_UTILISATION * ceiling * n
+            report, totals = _fleet_point(n, rate)
+            points.append((n, rate, report, totals))
+        return points
+
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    stale = _fleet_swap_staleness(tmp_path)
+
+    throughput = {n: rep.throughput for n, _, rep, _ in points}
+    scaling = throughput[FLEET_COUNTS[-1]] / throughput[1]
+    lines = [
+        f"fleet replica scaling (paced {PACE_FIXED_MS:.0f}ms + "
+        f"{PACE_SAMPLE_MS:.0f}ms/sample, max batch {FLEET_MAX_BATCH}, "
+        f"jsq, {FLEET_UTILISATION:.0%} of ceiling {ceiling:.0f} req/s/replica)"
+    ]
+    for n, rate, rep, _ in points:
+        lines.append(
+            f"  {n} replica{'s' if n > 1 else ' '}: {rep.throughput:8.1f} "
+            f"req/s  p50 {rep.p50:6.1f} / p95 {rep.p95:6.1f} ms  "
+            f"(offered {rate:.0f}/s, shed {rep.shed})"
+        )
+    lines.append(
+        f"  scaling    : {scaling:8.2f}x at {FLEET_COUNTS[-1]} replicas  "
+        f"(target >= {FLEET_TARGET}x, p95 budget {FLEET_P95_BUDGET_MS:.0f} ms)"
+        f"\n  stale responses after coordinated swap: {stale}"
+    )
+    save_result("serving_fleet", "\n".join(lines))
+
+    assert stale == 0, f"{stale} responses carried a stale version post-swap"
+    if SMOKE:
+        return
+    for n, rate, rep, _ in points:
+        assert rep.shed == 0 and rep.completed == rep.submitted, (
+            f"{n}-replica fleet shed {rep.shed} of {rep.submitted} "
+            f"at {rate:.0f} req/s"
+        )
+        assert rep.p95 <= FLEET_P95_BUDGET_MS, (
+            f"{n}-replica p95 {rep.p95:.1f} ms blew the "
+            f"{FLEET_P95_BUDGET_MS:.0f} ms budget"
+        )
+    assert scaling >= FLEET_TARGET, (
+        f"fleet only {scaling:.2f}x at {FLEET_COUNTS[-1]} replicas "
+        f"(need >= {FLEET_TARGET}x)"
+    )
+    _merge_bench_json(
+        {
+            "fleet": {
+                "policy": "jsq",
+                "pacing_ms": {
+                    "fixed": PACE_FIXED_MS,
+                    "per_sample": PACE_SAMPLE_MS,
+                },
+                "max_batch": FLEET_MAX_BATCH,
+                "utilisation": FLEET_UTILISATION,
+                "ceiling_rps_per_replica": round(ceiling, 1),
+                "trajectory": [
+                    {
+                        "replicas": n,
+                        "offered_rps": round(rate, 1),
+                        "throughput_rps": round(rep.throughput, 1),
+                        "p50_ms": round(rep.p50, 2),
+                        "p95_ms": round(rep.p95, 2),
+                        "shed": rep.shed,
+                        "batches": totals["batches"],
+                    }
+                    for n, rate, rep, totals in points
+                ],
+                "scaling_x": round(scaling, 2),
+                "target_scaling_x": FLEET_TARGET,
+                "p95_budget_ms": round(FLEET_P95_BUDGET_MS, 1),
+                "stale_after_swap": stale,
+            }
+        }
     )

@@ -311,6 +311,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--requests-per-client", type=int, default=32, metavar="N",
         help="closed-loop requests per client (default 32)",
     )
+    sv.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="serve from a fleet of N replica processes behind a router "
+             "(default 1: the in-process single server)",
+    )
+    sv.add_argument(
+        "--policy", default="least-loaded",
+        choices=("round-robin", "least-loaded", "jsq"),
+        help="fleet routing policy, with --replicas > 1 "
+             "(default least-loaded)",
+    )
+    sv.add_argument(
+        "--paced-batch-ms", type=float, default=None, metavar="MS",
+        help="pace each batch to a fixed-MS-plus-per-sample service time "
+             "(PacedEngine: real results, modelled timing — makes fleet "
+             "scaling measurable on few cores)",
+    )
+    sv.add_argument(
+        "--paced-sample-ms", type=float, default=1.0, metavar="MS",
+        help="per-sample term of the paced service time (default 1)",
+    )
     sv.add_argument("--seed", type=int, default=0)
     _add_engine_flags(sv)
     _add_obs_flags(sv)
@@ -483,6 +504,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import (
         DynamicBatcher,
         InferenceEngine,
+        PacedEngine,
+        Router,
         Server,
         run_closed_loop,
         run_open_loop,
@@ -513,26 +536,73 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     def payload_fn(rng, i):
         return pool[int(rng.integers(len(pool)))]
 
-    batcher = DynamicBatcher(
-        max_batch_size=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_queue_depth=args.max_queue_depth,
-    )
     obs = _build_obs(args)
-    server = Server(
-        engine, batcher, manager=manager, obs=obs,
-        metrics_every_batches=args.metrics_every,
-    )
+    health = None
+    if args.replicas > 1:
+        # fleet: each replica process builds its own engine (a closure is
+        # fine under the fork start method; see docs/serving.md)
+        snap_path = pathlib.Path(args.snapshot) if args.snapshot else None
+        paced_fixed, paced_sample = args.paced_batch_ms, args.paced_sample_ms
+
+        def engine_factory():
+            replica_model = wl.make_model(args.seed)
+            if manager is not None:
+                eng = InferenceEngine.from_manager(
+                    manager, replica_model, task, fused=fused
+                )
+            elif snap_path is not None:
+                eng = InferenceEngine.from_checkpoint(
+                    snap_path, replica_model, task, fused=fused
+                )
+            else:
+                eng = InferenceEngine(replica_model, task, fused=fused)
+            if paced_fixed is not None:
+                eng = PacedEngine(
+                    eng, t_fixed_ms=paced_fixed, t_sample_ms=paced_sample
+                )
+            return eng
+
+        front = Router(
+            engine_factory,
+            replicas=args.replicas,
+            policy=args.policy,
+            batcher=dict(
+                max_batch_size=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                max_queue_depth=args.max_queue_depth,
+            ),
+            manager=manager,
+            obs=obs,
+            metrics_every_batches=args.metrics_every,
+            sample_metrics=args.metrics_every > 0,
+        )
+    else:
+        if args.paced_batch_ms is not None:
+            engine = PacedEngine(
+                engine,
+                t_fixed_ms=args.paced_batch_ms,
+                t_sample_ms=args.paced_sample_ms,
+            )
+        batcher = DynamicBatcher(
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_depth=args.max_queue_depth,
+        )
+        front = Server(
+            engine, batcher, manager=manager, obs=obs,
+            metrics_every_batches=args.metrics_every,
+        )
+        health = front.health
 
     def bench():
-        with server:
+        with front:
             if args.mode == "open":
                 return run_open_loop(
-                    server, payload_fn, rate=args.arrival_rate,
+                    front, payload_fn, rate=args.arrival_rate,
                     duration=args.duration, seed=args.seed,
                 )
             return run_closed_loop(
-                server, payload_fn, clients=args.clients,
+                front, payload_fn, clients=args.clients,
                 requests_per_client=args.requests_per_client, seed=args.seed,
             )
 
@@ -546,14 +616,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{source}; max batch {args.max_batch}, "
         f"max wait {args.max_wait_ms:g} ms)"
     )
+    if args.replicas > 1:
+        print(
+            f"fleet: {args.replicas} replicas, policy {args.policy}, "
+            f"versions {front.versions()}"
+        )
     print(report.summary())
-    totals = server.counters()
+    totals = front.counters()
     print(
         f"batches: {totals['batches']}, shed: {totals['shed']}, "
-        f"swaps: {totals['swaps']}, alarms: {totals['alarms']}"
+        f"swaps: {totals['swaps']}, errors: {totals['errors']}, "
+        f"alarms: {totals['alarms']}"
     )
     if obs is not None:
-        _emit_obs(obs, args, health=server.health)
+        _emit_obs(obs, args, health=health)
     return 0
 
 

@@ -390,7 +390,7 @@ def default_training_rules() -> list[HealthRule]:
 
 
 def default_serving_rules(queue_capacity: int = 256) -> list[HealthRule]:
-    """The serving watchlist: queue saturation and shed rate."""
+    """The serving watchlist: queue saturation, shed rate, engine errors."""
     return [
         ThresholdRule(
             "queue-saturation", "serve/queue_depth", severity="warning",
@@ -398,6 +398,9 @@ def default_serving_rules(queue_capacity: int = 256) -> list[HealthRule]:
         ),
         ThresholdRule(
             "shed-alarm", "serve/shed", severity="critical", above=0.0,
+        ),
+        ThresholdRule(
+            "error-alarm", "serve/errors", severity="critical", above=0.0,
         ),
         SpikeRule(
             "latency-spike", "serve/latency_ms", severity="warning",

@@ -82,7 +82,85 @@ from repro.parallel.perfmodel import DeviceModel
 STEP_MS_BUCKETS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0)
 
 
-def _worker_main(factory, req_q, resp_q, telemetry: bool = False) -> None:
+def default_context() -> mp.context.BaseContext:
+    """The multiprocessing context every persistent process uses.
+
+    ``fork`` when the platform offers it (cheap, and closures survive as
+    process arguments), ``spawn`` otherwise — under ``spawn`` every
+    factory handed to a persistent process must be picklable (a
+    module-level function or :func:`functools.partial` of one).
+    """
+    return mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+
+
+class PersistentProcess:
+    """One persistent child process plus its request/response queue pair.
+
+    The reusable core of the persistent-worker pattern: a daemon process
+    running ``target(*args, req_q, resp_q)`` as a long-lived loop, fed
+    through :meth:`send` and drained through :meth:`recv`.  The loop
+    contract is shared by every user (the data-parallel workers below,
+    the serving replicas in :mod:`repro.serve.replica`):
+
+    * the target loops on ``req_q.get()`` and replies on ``resp_q``;
+    * a ``None`` request is the shutdown sentinel — the target drains
+      whatever it owes, replies its goodbye (if its protocol has one)
+      and returns;
+    * the target never lets an exception kill the loop: errors are
+      reported as responses so the parent sees a message, not a hang.
+
+    :meth:`shutdown` sends the sentinel, joins with a timeout, and
+    terminates a wedged process rather than hanging the parent.
+    """
+
+    __slots__ = ("ctx", "req_q", "resp_q", "proc")
+
+    def __init__(
+        self,
+        target,
+        args: tuple = (),
+        *,
+        ctx=None,
+        name: str | None = None,
+    ) -> None:
+        self.ctx = ctx if ctx is not None else default_context()
+        self.req_q = self.ctx.Queue()
+        self.resp_q = self.ctx.Queue()
+        self.proc = self.ctx.Process(
+            target=target,
+            args=(*args, self.req_q, self.resp_q),
+            name=name,
+            daemon=True,
+        )
+        self.proc.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def send(self, msg) -> None:
+        """Enqueue one request for the child (any thread)."""
+        self.req_q.put(msg)
+
+    def recv(self, timeout: float | None = None):
+        """Next response; raises ``queue.Empty`` when ``timeout`` expires."""
+        return self.resp_q.get(timeout=timeout)
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Sentinel + join; terminate rather than hang on a wedged child."""
+        if self.proc.is_alive():
+            self.req_q.put(None)
+        self.proc.join(timeout=join_timeout)
+        if self.proc.is_alive():  # wedged (e.g. mid-straggle): kill
+            self.proc.terminate()
+            self.proc.join(timeout=join_timeout)
+        self.req_q.cancel_join_thread()
+        self.resp_q.cancel_join_thread()
+
+
+def _worker_main(factory, telemetry, req_q, resp_q) -> None:
     """Persistent worker loop: cache the replica, serve gradient requests.
 
     Each request is ``(tag, updates, shard, fault)`` with
@@ -163,20 +241,13 @@ def _shard_finite(loss: float, grads: dict[str, np.ndarray]) -> bool:
     return all(np.isfinite(g).all() for g in grads.values())
 
 
-class _Worker:
-    """One persistent worker process and its bookkeeping."""
+class _Worker(PersistentProcess):
+    """One persistent worker process plus its data-parallel bookkeeping."""
 
-    __slots__ = ("proc", "req_q", "resp_q", "sent_version", "outstanding")
+    __slots__ = ("sent_version", "outstanding")
 
     def __init__(self, ctx, factory, telemetry: bool = False):
-        self.req_q = ctx.Queue()
-        self.resp_q = ctx.Queue()
-        self.proc = ctx.Process(
-            target=_worker_main,
-            args=(factory, self.req_q, self.resp_q, telemetry),
-            daemon=True,
-        )
-        self.proc.start()
+        super().__init__(_worker_main, (factory, telemetry), ctx=ctx)
         self.sent_version = 0  # last param version shipped to this replica
         self.outstanding = 0  # requests submitted but not yet drained
 
@@ -270,9 +341,7 @@ class MultiprocessCluster:
         self._version = 0  # bumps whenever any parameter changes
         self._shadow: dict[str, np.ndarray] = {}  # last-broadcast values
         self._changed_at: dict[str, int] = {}  # name -> version of change
-        self._ctx = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
+        self._ctx = default_context()
         self._workers = [
             _Worker(self._ctx, model_factory, telemetry)
             for _ in range(n_workers)
@@ -539,15 +608,10 @@ class MultiprocessCluster:
 
     def close(self) -> None:
         for worker in self._workers:
-            if worker.proc.is_alive():
+            if worker.alive:
                 worker.req_q.put(None)
         for worker in self._workers:
-            worker.proc.join(timeout=5)
-            if worker.proc.is_alive():  # wedged (e.g. mid-straggle): kill
-                worker.proc.terminate()
-                worker.proc.join(timeout=5)
-            worker.req_q.cancel_join_thread()
-            worker.resp_q.cancel_join_thread()
+            worker.shutdown()
 
     def __enter__(self) -> "MultiprocessCluster":
         return self

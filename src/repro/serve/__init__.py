@@ -18,12 +18,20 @@ applies unchanged to inference, so the serving layer's whole job is to
   metrics into :mod:`repro.obs`;
 * :mod:`~repro.serve.loadgen` — seeded open-loop (Poisson) and
   closed-loop load generators reporting throughput and p50/p95/p99
-  latency.
+  latency;
+* :class:`~repro.serve.router.Router` — the scale-out fleet: N replica
+  processes (:mod:`~repro.serve.replica`) behind pluggable routing
+  policies, version-clocked coordinated hot-swap, and queue-depth-driven
+  autoscaling.  :class:`~repro.serve.engine.PacedEngine` paces replica
+  compute against a fixed-plus-per-sample device model so fleet scaling
+  benchmarks measure the routing machinery, not host core count.
 """
 
 from repro.serve.batcher import SHED, DynamicBatcher, Request
-from repro.serve.engine import InferenceEngine, TASKS
+from repro.serve.engine import InferenceEngine, PacedEngine, TASKS
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.replica import ReplicaHandle
+from repro.serve.router import POLICIES, Router
 from repro.serve.server import (
     BATCH_SIZE_BUCKETS,
     LATENCY_MS_BUCKETS,
@@ -35,11 +43,15 @@ __all__ = [
     "DynamicBatcher",
     "Request",
     "InferenceEngine",
+    "PacedEngine",
     "TASKS",
     "LoadReport",
     "run_open_loop",
     "run_closed_loop",
     "Server",
+    "Router",
+    "ReplicaHandle",
+    "POLICIES",
     "BATCH_SIZE_BUCKETS",
     "LATENCY_MS_BUCKETS",
 ]

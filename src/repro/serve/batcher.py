@@ -30,7 +30,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 __all__ = ["Request", "DynamicBatcher", "SHED"]
 
@@ -57,6 +57,11 @@ class Request:
     is ``None`` for fixed-geometry payloads (MNIST images) and the true
     sequence length for variable-length ones (GNMT sources) — the
     batcher buckets on it and the engine pads up to the batch maximum.
+
+    ``on_done`` is an optional completion hook invoked (on the finishing
+    thread, after the event fires) with the request itself — the serving
+    replica uses it to ship results back over its response queue the
+    moment they exist, without polling futures.
     """
 
     payload: Any
@@ -65,6 +70,7 @@ class Request:
     submitted_at: float = field(default_factory=time.perf_counter)
     completed_at: float | None = None
     result: Any = None
+    on_done: Callable[["Request"], None] | None = field(default=None, repr=False)
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def finish(self, result: Any) -> None:
@@ -72,6 +78,8 @@ class Request:
         self.result = result
         self.completed_at = time.perf_counter()
         self._event.set()
+        if self.on_done is not None:
+            self.on_done(self)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the result is delivered; ``True`` when it was."""
@@ -161,6 +169,21 @@ class DynamicBatcher:
             return -1
         return math.ceil(request.seq_len / self.bucket_width)
 
+    def _head_bucket_count_locked(self, head_bucket: int) -> int:
+        """How many queued requests share ``head_bucket`` (capped at batch size).
+
+        Only the head request's bucket can ship in the next batch, so the
+        grace wait in :meth:`next_batch` must watch *this* count — total
+        queue depth overstates readiness under mixed-bucket traffic.
+        """
+        count = 0
+        for req in self._queue:
+            if self._bucket_of(req) == head_bucket:
+                count += 1
+                if count >= self.max_batch_size:
+                    break
+        return count
+
     def _take_batch_locked(self) -> list[Request]:
         """Pop up to ``max_batch_size`` head-bucket requests (FIFO order)."""
         head_bucket = self._bucket_of(self._queue[0])
@@ -196,7 +219,14 @@ class DynamicBatcher:
                 self._nonempty.wait(remaining)
 
             grace_end = time.perf_counter() + self.max_wait_ms / 1e3
-            while len(self._queue) < self.max_batch_size:
+            # The head request never changes during the grace wait (only
+            # this consumer pops, and it holds the lock), so its bucket is
+            # stable: watch how many queued requests can actually join it.
+            head_bucket = self._bucket_of(self._queue[0])
+            while (
+                self._head_bucket_count_locked(head_bucket)
+                < self.max_batch_size
+            ):
                 remaining = grace_end - time.perf_counter()
                 if remaining <= 0:
                     break

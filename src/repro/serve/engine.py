@@ -25,6 +25,7 @@ serves) so swap staleness is a cheap integer comparison.
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Any, Sequence
 
 import numpy as np
@@ -33,7 +34,7 @@ from repro.tensor import Tensor, fused_kernels, no_grad
 from repro.tensor.nnops import log_softmax
 from repro.utils.checkpoint import CheckpointManager, load_checkpoint
 
-__all__ = ["InferenceEngine", "TASKS"]
+__all__ = ["InferenceEngine", "PacedEngine", "TASKS"]
 
 TASKS = ("mnist", "ptb", "gnmt")
 
@@ -207,3 +208,65 @@ class InferenceEngine:
             p = np.asarray(p, dtype=np.int64)[: lens[i]]
             src[i, : len(p)] = p
         return self.translate(src, lens)
+
+
+class PacedEngine:
+    """An engine wrapper that pads batch service time to a device model.
+
+    The fleet benchmark must measure the *router's* scaling behaviour —
+    dispatch, IPC, policy quality — not how many LSTM forwards one host
+    can run, so replica compute is paced the same way the overlap
+    benchmark paces communication with its α–β ``DeviceModel``
+    (``docs/overlap.md``): every ``predict`` runs the real engine, then
+    sleeps until the batch has taken
+
+        ``t_fixed_ms + len(batch) * t_sample_ms``
+
+    milliseconds wall-clock.  The fixed term models per-dispatch
+    overhead (kernel launch, host sync), the per-sample term the
+    batch-axis work.  Because sleeping threads overlap freely across
+    processes, N paced replicas on one core scale near-linearly exactly
+    when the routing machinery lets them — which is the property under
+    test.  Results are the wrapped engine's real results; only timing is
+    simulated.
+
+    Everything not overridden here (``version``, ``load_version``,
+    ``swap_state``, the task heads) delegates to the wrapped engine, so
+    a :class:`PacedEngine` drops into :class:`~repro.serve.server.Server`
+    and the replica harness unchanged.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        *,
+        t_fixed_ms: float = 50.0,
+        t_sample_ms: float = 1.0,
+    ) -> None:
+        if t_fixed_ms < 0 or t_sample_ms < 0:
+            raise ValueError("pacing terms must be >= 0")
+        self.engine = engine
+        self.t_fixed_ms = float(t_fixed_ms)
+        self.t_sample_ms = float(t_sample_ms)
+
+    def __getattr__(self, name: str) -> Any:
+        # delegate everything the wrapper does not define (version,
+        # load_version, swap_state, task, classify, ...)
+        return getattr(self.engine, name)
+
+    def service_time_s(self, batch_size: int) -> float:
+        """The modelled wall-clock seconds for a ``batch_size`` batch."""
+        return (self.t_fixed_ms + batch_size * self.t_sample_ms) / 1e3
+
+    def predict(
+        self,
+        payloads: Sequence[np.ndarray],
+        lengths: Sequence[int | None] | None = None,
+    ) -> list[dict[str, Any]]:
+        start = time.perf_counter()
+        results = self.engine.predict(payloads, lengths)
+        budget = self.service_time_s(len(payloads))
+        remaining = budget - (time.perf_counter() - start)
+        if remaining > 0:
+            time.sleep(remaining)
+        return results

@@ -17,9 +17,11 @@ on a dedicated thread:
   weights and every queued request is answered by the new ones — nothing
   is dropped, mirroring the drain-then-broadcast discipline of the
   parameter-version delta broadcast in :mod:`repro.parallel.mp`.
-  Staleness detection is an integer comparison against
-  :meth:`CheckpointManager.latest_step` — no file is opened unless a
-  newer step exists;
+  Staleness detection resolves :meth:`CheckpointManager.latest` once
+  (one directory scan) and derives its step with
+  :meth:`CheckpointManager.step_of` — no file is opened unless a newer
+  step exists, and the path staged is always the path whose step was
+  compared;
 * **observability** — when a :class:`repro.obs.MetricsRegistry` is active
   the loop maintains ``serve/requests``, ``serve/shed``, ``serve/swaps``,
   ``serve/batches`` counters, a ``serve/queue_depth`` gauge and
@@ -65,7 +67,7 @@ class Server:
         Optional :class:`CheckpointManager` watched for new checkpoints;
         :meth:`poll_for_update` (called automatically every
         ``swap_poll_batches`` dispatched batches) stages a hot-swap when
-        ``manager.latest_step()`` beats the engine's version.
+        the step of ``manager.latest()`` beats the engine's version.
     obs:
         Optional :class:`repro.obs.Obs`; its tracer wraps each batch in a
         ``serve/batch`` span.  Metrics always go to the *active* registry
@@ -111,6 +113,7 @@ class Server:
         self.shed_total = 0
         self.swaps_total = 0
         self.batches_total = 0
+        self.errors_total = 0
         self.alarms_total = 0
         self._pending_swap: pathlib.Path | None = None
         self._swap_events: list[threading.Event] = []
@@ -154,15 +157,22 @@ class Server:
     # -- submission (any thread) -------------------------------------------
 
     def submit(
-        self, payload: np.ndarray, seq_len: int | None = None
+        self,
+        payload: np.ndarray,
+        seq_len: int | None = None,
+        *,
+        on_done=None,
     ) -> Request:
         """Enqueue one request; sheds (never raises) when overloaded.
 
         The returned :class:`Request` completes either with the engine's
         result dict or with the :data:`SHED` sentinel (check
-        ``request.shed``).
+        ``request.shed``).  ``on_done`` is forwarded to the request and
+        fires on whichever thread finishes it — including the shed path
+        inside this very call, so a replica's result-shipping hook sees
+        refusals too.
         """
-        request = Request(payload=payload, seq_len=seq_len)
+        request = Request(payload=payload, seq_len=seq_len, on_done=on_done)
         with self._stats_lock:
             self.requests_total += 1
         reg = get_active()
@@ -181,6 +191,10 @@ class Server:
         reg = get_active()
         if reg is not None:
             reg.counter("serve/shed").inc()
+            # a shed changes nothing in the queue, but the gauge may be
+            # stale from a previous burst — refresh it so the routing
+            # signal reflects reality at the moment of refusal
+            reg.gauge("serve/queue_depth").set(self.batcher.depth())
         request.finish(SHED)
 
     # -- hot-swap (any thread stages; the worker applies) ------------------
@@ -201,16 +215,22 @@ class Server:
     def poll_for_update(self) -> bool:
         """Stage a swap when the manager holds a newer checkpoint.
 
-        Cheap by design: compares :meth:`CheckpointManager.latest_step`
-        (a directory listing, no file reads) against the engine version.
+        Cheap by design: one directory scan (:meth:`CheckpointManager.latest`)
+        whose step is derived from the filename via
+        :meth:`CheckpointManager.step_of` — never a second scan, so a
+        checkpoint landing mid-poll cannot desynchronise the staged path
+        from the step that was compared (the classic TOCTOU: comparing
+        ``latest_step()`` and then re-scanning with ``latest()`` could
+        stage a *newer* file than the step it beat, or in pathological
+        retention races an older one).
         """
         if self.manager is None:
             return False
-        step = self.manager.latest_step()
-        if step is None or step <= self.engine.version:
-            return False
         latest = self.manager.latest()
         if latest is None:
+            return False
+        step = CheckpointManager.step_of(latest)
+        if step is None or step <= self.engine.version:
             return False
         with self._swap_lock:
             already_staged = self._pending_swap == latest
@@ -248,6 +268,13 @@ class Server:
         except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
             for req in batch:
                 req.finish({"error": repr(exc)})
+            with self._stats_lock:
+                self.errors_total += len(batch)
+            if reg is not None:
+                # visible failure: the error-alarm rule in
+                # default_serving_rules trips on any nonzero delta
+                reg.counter("serve/errors").inc(len(batch))
+                reg.gauge("serve/queue_depth").set(self.batcher.depth())
             return
         for req, result in zip(batch, results):
             if isinstance(result, dict):
@@ -296,6 +323,11 @@ class Server:
             if batch is None:
                 if not self._running:
                     break
+                # idle tick: keep the queue-depth gauge live — frozen at
+                # the last served depth it poisons least-loaded routing
+                reg = get_active()
+                if reg is not None:
+                    reg.gauge("serve/queue_depth").set(self.batcher.depth())
                 since_poll += 1
                 if self.manager is not None and since_poll >= self.swap_poll_batches:
                     since_poll = 0
@@ -335,6 +367,7 @@ class Server:
             "shed": self.shed_total,
             "swaps": self.swaps_total,
             "batches": self.batches_total,
+            "errors": self.errors_total,
             "alarms": self.alarms_total,
         }
 

@@ -9,6 +9,7 @@ outside the autodiff graph, and the ``serve/*`` observability wiring.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -380,3 +381,159 @@ class TestServeMetrics:
             server.predict_sync(make_image())
         paths = [ev.path for ev in obs.tracer.events]
         assert "serve/batch" in paths
+
+
+class TestBatcherEarlyDispatch:
+    def test_full_head_bucket_dispatches_before_grace(self):
+        # mixed-bucket traffic: the head bucket already fills a batch, so
+        # next_batch must ship immediately instead of burning max_wait_ms
+        # waiting for total depth to reach max_batch_size
+        b = DynamicBatcher(max_batch_size=2, max_wait_ms=500.0, bucket_width=2)
+        b.offer(Request(payload=0, seq_len=2))
+        b.offer(Request(payload=1, seq_len=8))  # different bucket
+        b.offer(Request(payload=2, seq_len=2))  # head bucket now full
+        t0 = time.perf_counter()
+        batch = b.next_batch(timeout=1.0)
+        elapsed = time.perf_counter() - t0
+        assert [r.payload for r in batch] == [0, 2]
+        assert elapsed < 0.25, f"waited {elapsed:.3f}s with a full head bucket"
+
+    def test_partial_head_bucket_still_waits(self):
+        # only one head-bucket request queued: the grace window applies
+        b = DynamicBatcher(max_batch_size=2, max_wait_ms=60.0, bucket_width=2)
+        b.offer(Request(payload=0, seq_len=2))
+        b.offer(Request(payload=1, seq_len=8))
+        t0 = time.perf_counter()
+        batch = b.next_batch(timeout=1.0)
+        elapsed = time.perf_counter() - t0
+        assert [r.payload for r in batch] == [0]
+        assert elapsed >= 0.05
+
+    def test_request_on_done_hook_fires_on_finish(self):
+        seen = []
+        req = Request(payload=1, on_done=seen.append)
+        req.finish("r")
+        assert seen == [req] and req.result == "r"
+
+    def test_submit_forwards_on_done_even_on_shed(self):
+        seen = []
+        server = Server(InferenceEngine(make_model(), "mnist"))
+        req = server.submit(make_image(), on_done=seen.append)  # not started
+        assert req.shed and seen == [req]
+
+
+class _CountingManager(CheckpointManager):
+    """Counts directory scans — the TOCTOU fix allows exactly one per poll."""
+
+    scans = 0
+
+    def checkpoints(self):
+        self.scans += 1
+        return super().checkpoints()
+
+
+class TestPollForUpdate:
+    def test_poll_scans_the_directory_exactly_once(self, tmp_path):
+        mgr = _CountingManager(tmp_path)
+        mgr.save(make_model(rng=3), iteration=1, step=1)
+        server = Server(InferenceEngine(make_model(), "mnist"), manager=mgr)
+        mgr.scans = 0
+        assert server.poll_for_update()
+        # latest() resolved once; the step came from that path's name, not
+        # a second scan that a concurrent writer could have changed
+        assert mgr.scans == 1
+        with server._swap_lock:
+            staged = server._pending_swap
+        assert CheckpointManager.step_of(staged) == 1
+
+    def test_poll_under_concurrent_writer_stages_consistent_steps(
+        self, tmp_path
+    ):
+        # a trainer lands checkpoints while the server polls: every staged
+        # path must parse to a step that beats the engine version — the
+        # pre-fix two-scan race could stage a path newer than the step it
+        # compared (or miss the consistency entirely)
+        mgr = CheckpointManager(tmp_path, keep_last=100)
+        mgr.save(make_model(rng=3), iteration=1, step=1)
+        engine = InferenceEngine(make_model(), "mnist")
+        server = Server(engine, manager=mgr)
+        stop = threading.Event()
+
+        def writer():
+            step = 2
+            while not stop.is_set() and step < 40:
+                mgr.save(make_model(rng=step % 5), iteration=step, step=step)
+                step += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(60):
+                server.poll_for_update()
+                with server._swap_lock:
+                    staged = server._pending_swap
+                if staged is not None:
+                    step = CheckpointManager.step_of(staged)
+                    assert step is not None and step > engine.version
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestServeFailureVisibility:
+    def test_queue_depth_gauge_not_stale_after_failed_batch(self):
+        reg = MetricsRegistry()
+        engine = InferenceEngine(make_model(), "mnist")
+        with activated(reg):
+            with Server(engine, DynamicBatcher(max_batch_size=4)) as server:
+                bad = server.submit(np.zeros((3, 3)))  # fails the batch
+                assert bad.wait(10.0) and "error" in bad.result
+                # pre-fix the gauge froze at the submit-time depth; now the
+                # error path and idle loop ticks both refresh it
+                deadline = time.perf_counter() + 5.0
+                gauge = reg.gauge("serve/queue_depth")
+                while gauge.value != 0 and time.perf_counter() < deadline:
+                    time.sleep(0.01)
+                assert gauge.value == 0
+
+    def test_idle_ticks_refresh_queue_depth_gauge(self):
+        reg = MetricsRegistry()
+        engine = _GatedEngine(make_model(), "mnist")
+        with activated(reg):
+            batcher = DynamicBatcher(max_batch_size=1, max_queue_depth=64)
+            with Server(engine, batcher) as server:
+                reqs = [server.submit(make_image(i)) for i in range(4)]
+                assert reg.gauge("serve/queue_depth").value > 0
+                engine.gate.set()
+                for req in reqs:
+                    assert req.wait(10.0)
+                # traffic stops; the idle loop must pull the gauge to the
+                # true (empty) depth rather than leave the last burst value
+                deadline = time.perf_counter() + 5.0
+                gauge = reg.gauge("serve/queue_depth")
+                while gauge.value != 0 and time.perf_counter() < deadline:
+                    time.sleep(0.01)
+                assert gauge.value == 0
+
+    def test_engine_failure_counts_and_alarms(self):
+        reg = MetricsRegistry()
+        engine = InferenceEngine(make_model(), "mnist")
+        with activated(reg):
+            server = Server(
+                engine,
+                DynamicBatcher(max_batch_size=4),
+                metrics_every_batches=1,
+            )
+            with server:
+                bad = server.submit(np.zeros((3, 3)))
+                assert bad.wait(10.0) and "error" in bad.result
+                good = server.predict_sync(make_image())  # loop survived
+                assert "label" in good
+        assert server.errors_total == 1
+        assert server.counters()["errors"] == 1
+        snap = {s["name"]: s for s in reg.snapshot()}
+        assert snap["serve/errors"]["value"] == 1
+        # the error-alarm rule in default_serving_rules is critical:
+        # a failed batch is an alarm, not a silent error dict
+        assert server.alarms_total >= 1
+        assert snap["serve/alarms"]["value"] >= 1
