@@ -34,7 +34,10 @@ the run on the exact uninstrumented code path.
 Both commands also take ``--fused`` / ``--no-fused`` (docs/fused_kernels.md)
 to pick between the fused hot-path kernels and the reference engine; with
 neither flag the ``REPRO_FUSED`` environment setting (default: reference)
-applies.
+applies.  ``--compile`` / ``--no-compile`` (docs/compile.md) likewise
+switch the trace-and-replay graph compiler, defaulting to the
+``REPRO_COMPILE`` environment setting; the two compose — ``--fused
+--compile`` captures and replays the fused graph.
 
 ``train`` accepts the data-parallel flags (docs/parallel.md): ``--workers P``
 shards every batch across ``P`` workers with gradients reduced through
@@ -65,6 +68,7 @@ from repro.experiments.registry import EXPERIMENTS
 from repro.obs import Obs
 from repro.parallel.allreduce import ALGORITHMS
 from repro.parallel.buckets import DEFAULT_BUCKET_MB
+from repro.compile.config import use_compiled
 from repro.tensor.fused import use_fused
 from repro.utils.ascii_plot import line_chart
 
@@ -86,11 +90,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
              "reference engine; default: the REPRO_FUSED environment "
              "setting, i.e. off)",
     )
+    parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=None,
+        dest="compiled",
+        help="run training steps through the trace-and-replay graph "
+             "compiler (docs/compile.md); --no-compile forces eager "
+             "execution; default: the REPRO_COMPILE environment setting, "
+             "i.e. off",
+    )
 
 
 def _apply_engine_flags(args: argparse.Namespace) -> None:
     if getattr(args, "fused", None) is not None:
         use_fused(args.fused)
+    if getattr(args, "compiled", None) is not None:
+        use_compiled(args.compiled)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:

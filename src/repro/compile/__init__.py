@@ -1,0 +1,43 @@
+"""Trace-and-replay graph compiler for the ``repro.tensor`` engine.
+
+Capture one training step's autodiff graph through the ``Tensor._make``
+seam, lower it to a :class:`ReplayPlan` (preallocated output buffers,
+arena-backed gradients, dead-node elimination, elementwise chain
+fusion), and replay it bit-identically — falling back to eager execution
+on any shape, dtype or graph change.  See ``docs/compile.md``.
+"""
+
+from repro.compile.arena import Arena
+from repro.compile.config import compiled_enabled, compiled_graphs, use_compiled
+from repro.compile.plan import (
+    COMPILED_LABEL_PREFIX,
+    ELEMENTWISE_OPS,
+    LABEL_TABLE,
+    ReplayPlan,
+    UnsupportedGraph,
+    compiled_label,
+)
+from repro.compile.recorder import (
+    GraphRecorder,
+    record_side_effect,
+    recording_active,
+)
+from repro.compile.step import CompiledLoss, CompiledStep
+
+__all__ = [
+    "Arena",
+    "CompiledLoss",
+    "CompiledStep",
+    "GraphRecorder",
+    "ReplayPlan",
+    "UnsupportedGraph",
+    "COMPILED_LABEL_PREFIX",
+    "ELEMENTWISE_OPS",
+    "LABEL_TABLE",
+    "compiled_enabled",
+    "compiled_graphs",
+    "compiled_label",
+    "record_side_effect",
+    "recording_active",
+    "use_compiled",
+]

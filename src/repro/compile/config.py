@@ -1,0 +1,53 @@
+"""The global compiled-execution switch, mirroring ``repro.tensor.fused``.
+
+Nothing imports the compiler machinery at switch time — this module only
+holds the flag, so it is import-cycle-free (``repro.tensor`` re-exports
+these helpers next to ``use_fused``).  Flip globally with::
+
+    from repro import tensor
+    tensor.use_compiled(True)        # returns the previous setting
+    ...
+    with tensor.compiled_graphs(False):   # scoped override
+        ...
+
+or set ``REPRO_COMPILE=1`` in the environment (how the CI compile leg
+runs the whole tier-1 suite on the compiled path), or pass ``--compile``
+to the CLI.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = ["use_compiled", "compiled_enabled", "compiled_graphs"]
+
+_COMPILED_ENABLED = os.environ.get("REPRO_COMPILE", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "no",
+)
+
+
+def use_compiled(enabled: bool = True) -> bool:
+    """Globally enable/disable compiled steps; returns the previous setting."""
+    global _COMPILED_ENABLED
+    prev = _COMPILED_ENABLED
+    _COMPILED_ENABLED = bool(enabled)
+    return prev
+
+
+def compiled_enabled() -> bool:
+    """Whether dispatching call sites should take the compiled path."""
+    return _COMPILED_ENABLED
+
+
+@contextlib.contextmanager
+def compiled_graphs(enabled: bool = True):
+    """Context manager scoping :func:`use_compiled` to a block."""
+    prev = use_compiled(enabled)
+    try:
+        yield
+    finally:
+        use_compiled(prev)

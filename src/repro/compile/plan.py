@@ -1,0 +1,293 @@
+"""Replay plans: a captured step turned into a straight-line program.
+
+A :class:`ReplayPlan` takes one recorded training step (the entry stream
+from :class:`repro.compile.GraphRecorder` plus the loss tensor it
+produced) and lowers it:
+
+* **dead-node elimination** — only ops reachable from the loss (or read
+  by a recorded side effect) are kept; everything else — eval branches,
+  diagnostics — is dropped from the replay schedule.
+* **elementwise chain fusion** — maximal runs of adjacent elementwise
+  ops in single-consumer (producer feeds only the next op) position are
+  merged into one schedule slot, eliminating per-op Python dispatch.
+  Buffers are still written per node, so fusion is observationally
+  invisible; the ``compile/fused_chains`` gauge counts merged runs.
+* **buffer reuse** — replay closures write into the very arrays captured
+  on the graph nodes (that is the replay protocol's contract), so a
+  replayed step allocates no output buffers at all.  Long-lived leaf
+  *gradient* buffers come from one contiguous :class:`Arena` block.
+* **cached backward** — the topological order and the capture-time vjp
+  closures are reused as-is; the backward walk replicates
+  ``Tensor.backward``'s accumulation algorithm exactly, so gradients are
+  bit-identical to an eager step.
+
+Profiler contract
+-----------------
+When an :class:`~repro.obs.profiler.OpProfiler` is attached, replayed
+nodes bypass ``Tensor._make`` — so the plan reports each node's forward
+execution directly to the profiler under ``compiled_<op>`` (see
+:data:`LABEL_TABLE`); capture itself goes through the normal hook and
+keeps the stable eager labels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compile.arena import Arena
+from repro.compile.recorder import GraphNode, SideEffect
+from repro.tensor.tensor import REPLAY_VIEW, Tensor, is_grad_enabled
+from repro.tensor.fused import fused_enabled
+
+__all__ = [
+    "ReplayPlan",
+    "UnsupportedGraph",
+    "compiled_label",
+    "COMPILED_LABEL_PREFIX",
+    "LABEL_TABLE",
+    "ELEMENTWISE_OPS",
+]
+
+
+class UnsupportedGraph(RuntimeError):
+    """Raised when a captured graph contains a non-replayable live op."""
+
+
+#: Ops eligible for elementwise chain fusion (shape-preserving, one
+#: output buffer, no reduction/data movement).
+ELEMENTWISE_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "neg", "pow",
+        "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs", "clip",
+        "where", "maximum", "minimum", "dropout",
+    }
+)
+
+#: Every op label the engine emits today, mapped to its replay label.
+#: ``tests/test_obs_integration.py`` pins this contract: capture keeps
+#: the stable eager labels, replay reports under the ``compiled_`` names.
+COMPILED_LABEL_PREFIX = "compiled_"
+_KNOWN_OPS = (
+    "add", "sub", "mul", "div", "neg", "pow", "matmul",
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs", "clip",
+    "sum", "mean", "max",
+    "reshape", "transpose", "squeeze", "expand_dims", "swapaxes",
+    "getitem", "pad2d", "concat", "stack", "where", "maximum", "minimum",
+    "softmax", "log_softmax", "cross_entropy", "embedding", "dropout",
+    "conv2d", "max_pool2d", "avg_pool2d",
+    "fused_lstm_cell", "fused_lstm_layer", "fused_lstm_out",
+    "fused_softmax_xent", "fused_layer_norm",
+)
+LABEL_TABLE: dict[str, str] = {op: COMPILED_LABEL_PREFIX + op for op in _KNOWN_OPS}
+
+
+def compiled_label(op: str) -> str:
+    """The profiler label a replayed ``op`` reports under."""
+    return LABEL_TABLE.get(op) or COMPILED_LABEL_PREFIX + op
+
+
+class ReplayPlan:
+    """One captured step lowered to a replayable schedule (see module docs)."""
+
+    def __init__(self, entries: list, loss: Tensor) -> None:
+        if not isinstance(loss, Tensor) or not loss.requires_grad:
+            raise UnsupportedGraph("captured loss is not a grad-tracked tensor")
+        self.loss = loss
+        self._fused_flag = fused_enabled()
+
+        nodes = [e for e in entries if isinstance(e, GraphNode)]
+        effects = [e for e in entries if isinstance(e, SideEffect)]
+        by_id: dict[int, GraphNode] = {id(n.tensor): n for n in nodes}
+        if id(loss) not in by_id:
+            raise UnsupportedGraph("loss tensor was not built while recording")
+
+        # -- dead-node elimination: reachability from loss + side effects
+        live: set[int] = set()
+        frontier = [loss] + [d for e in effects for d in e.deps]
+        while frontier:
+            t = frontier.pop()
+            node = by_id.get(id(t))
+            if node is None or id(t) in live:
+                continue
+            live.add(id(t))
+            frontier.extend(node.parents)
+        self.num_nodes = len(nodes)
+        self.dce_removed = len(nodes) - len(live)
+
+        # -- every live node must know how to replay
+        for n in nodes:
+            if id(n.tensor) in live and n.replay is None:
+                raise UnsupportedGraph(f"op '{n.op}' is not replayable")
+
+        # -- executable stream: live compute nodes (views are free) and
+        #    side effects, in capture order
+        stream: list = [
+            e
+            for e in entries
+            if (
+                isinstance(e, SideEffect)
+                or (id(e.tensor) in live and callable(e.replay))
+            )
+        ]
+        self.stochastic = any(
+            isinstance(e, GraphNode) and getattr(e.replay, "stochastic", False)
+            for e in stream
+        )
+        self.has_side_effects = bool(effects)
+
+        # -- single-consumer map over the live graph (for chain fusion)
+        consumers: dict[int, set[int]] = {}
+        for n in nodes:
+            if id(n.tensor) not in live:
+                continue
+            for p in n.parents:
+                consumers.setdefault(id(p), set()).add(id(n.tensor))
+        for e in effects:
+            for d in e.deps:
+                consumers.setdefault(id(d), set()).add(id(e))
+
+        # -- elementwise chain fusion over adjacent stream slots
+        self._schedule: list = []
+        self._profile: list[tuple[str, int, object]] = []
+        self.fused_chains = 0
+        run: list[GraphNode] = []
+
+        def flush_run() -> None:
+            if not run:
+                return
+            if len(run) == 1:
+                self._schedule.append(run[0].replay)
+            else:
+                fns = tuple(n.replay for n in run)
+
+                def chained(fns=fns):
+                    for fn in fns:
+                        fn()
+
+                self._schedule.append(chained)
+                self.fused_chains += 1
+            run.clear()
+
+        for e in stream:
+            if isinstance(e, SideEffect):
+                flush_run()
+                self._schedule.append(e.fn)
+                self._profile.append(("compiled_side_effect", 0, e.fn))
+                continue
+            self._profile.append(
+                (compiled_label(e.op), e.tensor.data.size, e.replay)
+            )
+            fusable = (
+                e.op in ELEMENTWISE_OPS
+                and not getattr(e.replay, "stochastic", False)
+            )
+            if run:
+                prev = run[-1]
+                # extend only while the previous output feeds exactly this
+                # node — single consumer keeps fusion trivially safe
+                if not (
+                    fusable
+                    and consumers.get(id(prev.tensor)) == {id(e.tensor)}
+                    and any(p is prev.tensor for p in e.parents)
+                ):
+                    flush_run()
+            if fusable:
+                run.append(e)
+            else:
+                flush_run()
+                self._schedule.append(e.replay)
+        flush_run()
+
+        # -- cached backward: topo order, leaves, arena grad buffers
+        self._topo = loss._topological_order()
+        self.params: list[Tensor] = [
+            t for t in self._topo if t._vjp is None and t.requires_grad
+        ]
+        self._param_data = [p.data for p in self.params]
+        self._arena = Arena()
+        self._grad_slots = {
+            id(p): self._arena.reserve(p.data.shape) for p in self.params
+        }
+        self._arena.freeze()
+        self._grad_buffers = {
+            key: self._arena.view(idx) for key, idx in self._grad_slots.items()
+        }
+        self.arena_bytes = self._arena.nbytes
+
+    # -- guards ------------------------------------------------------------
+
+    def check_guards(self) -> bool:
+        """Whether the captured world still holds (cheap identity checks).
+
+        Any parameter whose ``.data`` array was swapped out (checkpoint
+        restore, manual surgery), a flipped fused-kernel switch, or a
+        ``no_grad`` scope means the captured buffers/closures no longer
+        describe reality — the caller must fall back and recapture.
+        """
+        if fused_enabled() != self._fused_flag or not is_grad_enabled():
+            return False
+        for p, d in zip(self.params, self._param_data):
+            if p.data is not d:
+                return False
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def execute_forward(self, profiler=None) -> None:
+        """Re-run the captured forward in place (see replay protocol)."""
+        if profiler is None:
+            for fn in self._schedule:
+                fn()
+        else:
+            # per-node timing; fusion only exists on the unprofiled path
+            for label, elements, fn in self._profile:
+                t0 = time.perf_counter()
+                fn()
+                profiler.record_replay(label, time.perf_counter() - t0, elements)
+
+    def execute_backward(self, grad=None) -> None:
+        """``Tensor.backward`` on the cached topo order and vjp closures.
+
+        Identical accumulation algorithm — same id-keyed pending table,
+        same copy-on-first-accumulate leaf semantics — with the DFS
+        replaced by the capture-time order and first-touch leaf gradients
+        landing in arena-backed buffers (``np.copyto`` matches the
+        eager ``.copy()`` bit-for-bit).
+        """
+        loss = self.loss
+        if grad is None:
+            g = np.ones_like(loss.data)
+        else:
+            g = np.asarray(grad, dtype=np.float64)
+            if g.shape != loss.data.shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} does not match tensor shape "
+                    f"{loss.data.shape}"
+                )
+        pending: dict[int, np.ndarray] = {id(loss): g}
+        for node in self._topo:
+            node_grad = pending.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._vjp is None:
+                if node.grad is None:
+                    buf = self._grad_buffers.get(id(node))
+                    if buf is None:
+                        node.grad = node_grad.copy()
+                    else:
+                        np.copyto(buf, node_grad)
+                        node.grad = buf
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._vjp(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in pending:
+                    pending[key] = pending[key] + pgrad
+                else:
+                    pending[key] = pgrad

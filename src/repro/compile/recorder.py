@@ -1,0 +1,120 @@
+"""Graph capture: a monkey-patching recorder on the ``Tensor._make`` seam.
+
+:class:`GraphRecorder` hooks the same choke point as
+:class:`repro.obs.profiler.OpProfiler` — every primitive op funnels
+through ``Tensor._make(data, parents, vjp, op, replay=...)`` — and logs
+one entry per op in creation order.  Crucially it wraps *whatever*
+``_make`` currently is, so stacking with the profiler composes: a capture
+taken while the profiler is attached still counts and labels every op
+(`fused_lstm_layer`, `matmul`, ...) exactly as an eager step would.
+
+The recorder is the only consumer of the ``replay`` argument: the engine
+itself never stores it, so eager execution pays one closure allocation
+per node and nothing else.
+
+Side effects
+------------
+Ops that mutate state outside the graph (BatchNorm's running-stat EMA)
+register a replay closure via :func:`record_side_effect`; the closure is
+re-run at its recorded position in the stream, and its ``deps`` tensors
+are treated as live roots by dead-node elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["GraphRecorder", "record_side_effect", "recording_active"]
+
+
+class GraphNode:
+    """One recorded op: the output tensor plus capture-time metadata.
+
+    ``parents`` comes from the call arguments, not ``tensor._parents`` —
+    the engine only retains parents on grad-tracked nodes, while dead-node
+    elimination needs the full dataflow (e.g. through a ``no_grad`` eval
+    branch feeding a side effect).
+    """
+
+    __slots__ = ("tensor", "parents", "op", "replay")
+
+    def __init__(self, tensor: Tensor, parents: tuple, op: str, replay) -> None:
+        self.tensor = tensor
+        self.parents = parents
+        self.op = op
+        self.replay = replay
+
+
+class SideEffect:
+    """A non-graph mutation to re-run at its recorded stream position."""
+
+    __slots__ = ("fn", "deps")
+
+    def __init__(self, fn: Callable[[], None], deps: tuple) -> None:
+        self.fn = fn
+        self.deps = deps
+
+
+_ACTIVE: "GraphRecorder | None" = None
+
+
+def recording_active() -> bool:
+    """Whether a :class:`GraphRecorder` is currently attached."""
+    return _ACTIVE is not None
+
+
+def record_side_effect(fn: Callable[[], None], deps: Sequence[Tensor] = ()) -> None:
+    """Register ``fn`` with the active recorder (no-op when not recording).
+
+    ``fn`` must re-run the mutation bit-identically from the current
+    values of the arrays it closes over; ``deps`` are the tensors whose
+    values it reads, kept live through dead-node elimination.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.entries.append(SideEffect(fn, tuple(deps)))
+
+
+class GraphRecorder:
+    """Record every op built while attached, in creation order."""
+
+    def __init__(self) -> None:
+        self.entries: list[GraphNode | SideEffect] = []
+        self._attached = False
+        self._saved_make = None
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def attach(self) -> "GraphRecorder":
+        global _ACTIVE
+        if self._attached:
+            return self
+        if _ACTIVE is not None:
+            raise RuntimeError("another GraphRecorder is already attached")
+        self._saved_make = Tensor.__dict__["_make"]  # the staticmethod object
+        original = self._saved_make.__func__
+        recorder = self
+
+        def recording_make(data, parents, vjp, op, replay=None):
+            out = original(data, parents, vjp, op, replay=replay)
+            recorder.entries.append(GraphNode(out, tuple(parents), op, replay))
+            return out
+
+        Tensor._make = staticmethod(recording_make)
+        self._attached = True
+        _ACTIVE = recorder
+        return self
+
+    def detach(self) -> "GraphRecorder":
+        global _ACTIVE
+        if not self._attached:
+            return self
+        Tensor._make = self._saved_make
+        self._saved_make = None
+        self._attached = False
+        if _ACTIVE is self:
+            _ACTIVE = None
+        return self

@@ -1,0 +1,256 @@
+"""The trainer-facing entry point: capture once, replay every step.
+
+:class:`CompiledStep` wraps a ``loss_fn(batch) -> Tensor`` closure.  The
+first call with a given batch *signature* (shapes, dtypes, scalar
+values) runs eagerly under a :class:`GraphRecorder` and lowers the
+capture to a :class:`ReplayPlan`; subsequent calls with the same
+signature bind the new batch into the captured input buffers and replay.
+Everything that cannot replay falls back to plain eager execution —
+numbers are always right, only speed varies:
+
+* unseen signature (remainder batch, dtype change) → eager capture of a
+  new plan, ``compile/fallbacks`` incremented;
+* guard failure (parameter ``.data`` rebound, fused switch flipped,
+  ``no_grad``) → plan dropped, eager recapture, fallback counted;
+* replay raising (e.g. out-of-range indices after binding) → plan
+  dropped, eager step, fallback counted;
+* non-replayable op in the capture → signature poisoned, every later
+  step with it runs eagerly (one fallback each).
+
+Validation: the first replay of a deterministic plan (no RNG-consuming
+nodes, no side effects) re-runs the same batch eagerly and compares the
+loss bit-for-bit; a mismatch poisons the plan.  Stochastic/side-effect
+plans skip this (re-running would double-consume the RNG stream or the
+BatchNorm EMA) — their safety rests on the differential test suite.
+
+Capture safety: the batch is deep-copied before capture, so replay
+binding (``np.copyto`` into the captured arrays) never mutates loader
+state, even when loaders yield views into a shared pool.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.compile.plan import ReplayPlan, UnsupportedGraph
+from repro.compile.recorder import GraphRecorder, recording_active
+from repro.obs.metrics import get_active as _active_metrics
+from repro.tensor.tensor import Tensor, is_grad_enabled
+
+__all__ = ["CompiledStep", "CompiledLoss"]
+
+_UNSUPPORTED = object()  # poisoned-signature sentinel
+
+
+def _signature(batch) -> tuple:
+    """Hashable structural key: array shapes/dtypes, scalar values."""
+    if isinstance(batch, np.ndarray):
+        return ("a", batch.shape, batch.dtype.str)
+    if isinstance(batch, (list, tuple)):
+        return ("t", tuple(_signature(b) for b in batch))
+    if isinstance(batch, dict):
+        return (
+            "d",
+            tuple(sorted((k, _signature(v)) for k, v in batch.items())),
+        )
+    return ("s", type(batch).__name__, batch)
+
+
+def _copy_structure(batch):
+    """Deep-copy the arrays of a batch structure (scalars pass through)."""
+    if isinstance(batch, np.ndarray):
+        return np.array(batch)
+    if isinstance(batch, (list, tuple)):
+        return type(batch)(_copy_structure(b) for b in batch)
+    if isinstance(batch, dict):
+        return {k: _copy_structure(v) for k, v in batch.items()}
+    return batch
+
+
+def _bind_structure(bound, batch) -> None:
+    """Copy the new batch's values into the captured input buffers."""
+    if isinstance(bound, np.ndarray):
+        # casting="no": a silent dtype coercion here would desynchronize
+        # the captured graph from the data — fail loudly instead
+        np.copyto(bound, batch, casting="no")
+        return
+    if isinstance(bound, (list, tuple)):
+        for b, n in zip(bound, batch):
+            _bind_structure(b, n)
+        return
+    if isinstance(bound, dict):
+        for k in bound:
+            _bind_structure(bound[k], batch[k])
+
+
+class CompiledLoss:
+    """What a replayed step returns: quacks like the scalar loss tensor.
+
+    ``.data`` aliases the captured loss buffer (refreshed by the replay
+    that produced this object) and ``.backward()`` runs the plan's cached
+    backward — the trainer cannot tell it apart from an eager loss.
+    """
+
+    __slots__ = ("_plan",)
+
+    def __init__(self, plan: ReplayPlan) -> None:
+        self._plan = plan
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._plan.loss.data
+
+    @property
+    def requires_grad(self) -> bool:
+        return True
+
+    @property
+    def shape(self) -> tuple:
+        return self._plan.loss.data.shape
+
+    def item(self) -> float:
+        return float(self._plan.loss.data)
+
+    def backward(self, grad=None) -> None:
+        self._plan.execute_backward(grad)
+
+
+class CompiledStep:
+    """Trace-and-replay wrapper around a step's loss closure (see above)."""
+
+    def __init__(
+        self,
+        loss_fn,
+        validate: bool = True,
+        max_plans: int = 8,
+        metrics=None,
+    ) -> None:
+        self.loss_fn = loss_fn
+        self.validate = validate
+        self.max_plans = int(max_plans)
+        #: Metrics registry for ``compile/*`` instruments; when ``None``
+        #: the process-active registry (if any) is used per call.
+        self.metrics = metrics
+        self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self._bound: dict[tuple, object] = {}
+        self._needs_validation: dict[tuple, bool] = {}
+
+    # -- metrics ----------------------------------------------------------
+
+    def _registry(self):
+        return self.metrics if self.metrics is not None else _active_metrics()
+
+    def _count(self, name: str) -> None:
+        reg = self._registry()
+        if reg is not None:
+            reg.counter(f"compile/{name}").inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        reg = self._registry()
+        if reg is not None:
+            reg.gauge(f"compile/{name}").set(float(value))
+
+    # -- stats (used by tests and the bench harness) ----------------------
+
+    @property
+    def plans(self) -> list[ReplayPlan]:
+        return [p for p in self._plans.values() if isinstance(p, ReplayPlan)]
+
+    # -- the step ---------------------------------------------------------
+
+    def __call__(self, batch):
+        if recording_active() or not is_grad_enabled():
+            # nested capture / eval pass: stay out of the way entirely
+            return self.loss_fn(batch)
+        try:
+            sig = _signature(batch)
+            entry = self._plans.get(sig)
+        except TypeError:  # unhashable scalar in the batch structure
+            self._count("fallbacks")
+            return self.loss_fn(batch)
+        if entry is _UNSUPPORTED:
+            self._count("fallbacks")
+            return self.loss_fn(batch)
+        if isinstance(entry, ReplayPlan):
+            result = self._replay(sig, entry, batch)
+            if result is not None:
+                return result
+            # guard/replay failure (fallback already counted): recapture
+        elif self._plans:
+            # unseen signature after warm-up — a remainder batch or a
+            # dtype change: this step runs eagerly (and captures a plan
+            # of its own for next time)
+            self._count("fallbacks")
+        return self._capture(sig, batch)
+
+    # -- replay path ------------------------------------------------------
+
+    def _replay(self, sig, plan: ReplayPlan, batch):
+        if not plan.check_guards():
+            del self._plans[sig]
+            self._count("fallbacks")
+            return None
+        from repro.obs.profiler import get_active as _active_profiler
+
+        bound = self._bound[sig]
+        try:
+            _bind_structure(bound, batch)
+            plan.execute_forward(profiler=_active_profiler())
+        except Exception:
+            del self._plans[sig]
+            del self._bound[sig]
+            self._count("fallbacks")
+            return None
+        if self._needs_validation.get(sig, False):
+            self._needs_validation[sig] = False
+            self._count("validations")
+            eager = self.loss_fn(_copy_structure(batch))
+            if not np.array_equal(eager.data, plan.loss.data):
+                # wrong numbers are never served: the eager result is the
+                # one returned, and the plan never replays again
+                self._plans[sig] = _UNSUPPORTED
+                del self._bound[sig]
+                self._count("fallbacks")
+                return eager
+        self._count("replays")
+        return CompiledLoss(plan)
+
+    # -- capture path -----------------------------------------------------
+
+    def _capture(self, sig, batch):
+        bound = _copy_structure(batch)
+        recorder = GraphRecorder()
+        recorder.attach()
+        try:
+            loss = recorder_loss = self.loss_fn(bound)
+        finally:
+            recorder.detach()
+        if not isinstance(recorder_loss, Tensor) or not math.isfinite(
+            float(np.asarray(recorder_loss.data).sum())
+        ):
+            # transient bad step (fault injection, divergence): hand the
+            # eager result back and try capturing again next time
+            return loss
+        try:
+            plan = ReplayPlan(recorder.entries, recorder_loss)
+        except UnsupportedGraph:
+            self._plans[sig] = _UNSUPPORTED
+            return loss
+        self._plans[sig] = plan
+        self._bound[sig] = bound
+        self._needs_validation[sig] = (
+            self.validate and not plan.stochastic and not plan.has_side_effects
+        )
+        self._count("captures")
+        self._gauge("nodes", plan.num_nodes)
+        self._gauge("dce_removed", plan.dce_removed)
+        self._gauge("fused_chains", plan.fused_chains)
+        self._gauge("arena_bytes", plan.arena_bytes)
+        while len(self._plans) > self.max_plans:
+            old_sig, _ = self._plans.popitem(last=False)
+            self._bound.pop(old_sig, None)
+            self._needs_validation.pop(old_sig, None)
+        return loss

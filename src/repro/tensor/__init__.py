@@ -22,6 +22,13 @@ updates) additionally have fused single-node kernels in
 :mod:`repro.tensor.fused`, switched globally with :func:`use_fused` (or
 the ``REPRO_FUSED`` environment variable) and property-tested against
 the reference graphs in ``tests/test_fused_parity.py``.
+
+One level up sits the trace-and-replay graph compiler
+(:mod:`repro.compile`): capture a whole training step once, replay it
+into preallocated buffers with dead-node elimination and elementwise
+chain fusion, falling back to eager on any shape/dtype/graph change.
+Switched with :func:`use_compiled` / ``REPRO_COMPILE`` and pinned
+bit-identical to eager by ``tests/test_compile_parity.py``.
 """
 
 from repro.tensor.tensor import (
@@ -50,6 +57,7 @@ from repro.tensor.nnops import (
 )
 from repro.tensor.conv import conv2d, max_pool2d, avg_pool2d
 from repro.tensor.fused import use_fused, fused_enabled, fused_kernels
+from repro.compile.config import use_compiled, compiled_enabled, compiled_graphs
 from repro.tensor.gradcheck import gradcheck, numeric_grad, GradcheckReport
 
 __all__ = [
@@ -79,6 +87,9 @@ __all__ = [
     "use_fused",
     "fused_enabled",
     "fused_kernels",
+    "use_compiled",
+    "compiled_enabled",
+    "compiled_graphs",
     "gradcheck",
     "numeric_grad",
     "GradcheckReport",

@@ -27,6 +27,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.compile import CompiledStep
+from repro.compile.config import compiled_enabled
 from repro.obs import Obs
 from repro.obs.metrics import GRAD_NORM_BUCKETS
 from repro.optim.base import Optimizer
@@ -99,6 +101,15 @@ class Trainer:
         default) keeps end-of-run snapshots only.  With metrics disabled
         the flag is inert — the hot loop sees one hoisted integer and
         allocates nothing per iteration.
+    compiled:
+        Run steps through the trace-and-replay compiler
+        (:class:`repro.compile.CompiledStep`): capture the step graph
+        once, replay it bit-identically with preallocated buffers, and
+        transparently recapture on any fallback (shape/dtype change,
+        parameter surgery).  ``None`` (the default) follows the global
+        :func:`repro.tensor.use_compiled` / ``REPRO_COMPILE`` switch;
+        an explicit bool overrides it.  ``compile/*`` counters land in
+        the obs metrics registry when one is attached.
     """
 
     def __init__(
@@ -112,9 +123,14 @@ class Trainer:
         callbacks: list | None = None,
         obs: Obs | None = None,
         metrics_every: int = 0,
+        compiled: bool | None = None,
     ) -> None:
         if metrics_every < 0:
             raise ValueError("metrics_every must be >= 0")
+        if compiled is None:
+            compiled = compiled_enabled()
+        if compiled and not isinstance(loss_fn, CompiledStep):
+            loss_fn = CompiledStep(loss_fn)
         self.loss_fn = loss_fn
         self.optimizer = optimizer
         self.schedule = schedule
@@ -144,6 +160,13 @@ class Trainer:
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         mreg = obs.metrics if obs is not None else None
+        if (
+            mreg is not None
+            and isinstance(self.loss_fn, CompiledStep)
+            and self.loss_fn.metrics is None
+        ):
+            # route compile/* counters into this run's registry
+            self.loss_fn.metrics = mreg
         # hoisted so the disabled path never even tests the flag's truthiness
         # against an allocation — one int compare per iteration, nothing more
         sample_every = self.metrics_every if mreg is not None else 0
