@@ -35,10 +35,17 @@ bench machine happens to have.  The fleet section also drives a
 coordinated hot-swap under traffic and records that zero post-convergence
 responses carried a stale version.
 
+The third bench gates the int8 post-training-quantization path
+(``docs/mixed_precision.md``): the same classifier served through
+:class:`~repro.serve.quantize.QuantizedMnistRunner` must return the
+*same label for every request* as the float64 engine while beating its
+batched throughput — the win that justifies ``--quantize int8`` existing
+at all.
+
 A full (non-smoke) run refreshes its own section of
-``BENCH_serving.json`` at the repo root (single-server keys and the
-``fleet`` section merge without clobbering each other) — the committed
-reference numbers for this machine class.
+``BENCH_serving.json`` at the repo root (single-server keys, the
+``fleet`` section and the ``int8`` section merge without clobbering
+each other) — the committed reference numbers for this machine class.
 
 Set ``REPRO_BENCH_SMOKE=1`` (the CI leg does) to run a short stream and
 skip the gates: that exercises the whole stack — batcher, server thread,
@@ -90,6 +97,12 @@ FLEET_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
 FLEET_DURATION = 1.0 if SMOKE else 5.0
 FLEET_TARGET = 3.0  # aggregate throughput at 4 replicas vs 1
 FLEET_P95_BUDGET_MS = 5.0 * (PACE_FIXED_MS + FLEET_MAX_BATCH * PACE_SAMPLE_MS)
+
+# -- int8 PTQ bench knobs ----------------------------------------------------
+INT8_BATCH = 256  # serving-scale batch: big enough that BLAS dominates
+INT8_ROUNDS = 3 if SMOKE else 20
+INT8_PAYLOAD_SEED = 1
+INT8_TARGET_SPEEDUP = 1.05  # int8 must win, with margin over timer noise
 
 
 def _merge_bench_json(update: dict) -> None:
@@ -218,6 +231,96 @@ def test_dynamic_batching_throughput(benchmark):
                 "p95_budget_ms": round(p95_budget, 1),
                 "deterministic": True,
             }
+    )
+
+
+# -- the int8 post-training-quantization bench -------------------------------
+
+
+def _int8_throughput(engine: InferenceEngine, images: np.ndarray) -> float:
+    """Images per second for repeated full-batch ``classify`` calls."""
+    engine.classify(images[:8])  # warm caches outside the timed region
+    start = time.perf_counter()
+    for _ in range(INT8_ROUNDS):
+        engine.classify(images)
+    elapsed = time.perf_counter() - start
+    return INT8_ROUNDS * len(images) / elapsed
+
+
+def test_int8_quantized_serving(benchmark):
+    """Int8 PTQ serves the same labels as float64, faster.
+
+    Label agreement must be *exact* across the whole batch — quantization
+    that flips predictions is not a serving optimisation, it is a
+    different model.  The throughput gate is deliberately modest
+    (:data:`INT8_TARGET_SPEEDUP`): the win comes from float32 BLAS and
+    skipping the autodiff tape, both of which hold on any machine class,
+    but shared runners add timer noise.
+    """
+    model = MnistLSTMClassifier(
+        rng=0, input_dim=INPUT, transform_dim=32, hidden=HIDDEN
+    )
+    full = InferenceEngine(model, "mnist")
+    quant = InferenceEngine(model, "mnist", quantize="int8")
+    rng = np.random.default_rng(INT8_PAYLOAD_SEED)
+    images = rng.standard_normal((INT8_BATCH, SEQ_LEN, INPUT))
+
+    full_results = full.classify(images)
+    quant_results = quant.classify(images)
+    full_labels = [r["label"] for r in full_results]
+    quant_labels = [r["label"] for r in quant_results]
+    agree = sum(a == b for a, b in zip(full_labels, quant_labels))
+    max_logit_diff = max(
+        float(np.abs(f["logits"] - q["logits"]).max())
+        for f, q in zip(full_results, quant_results)
+    )
+
+    def measure():
+        return _int8_throughput(full, images), _int8_throughput(quant, images)
+
+    full_rps, quant_rps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = quant_rps / full_rps
+    int8_bytes = quant._quantized.int8_bytes
+    fp64_bytes = sum(
+        p.data.nbytes for _, p in model.named_parameters()
+    )
+    save_result(
+        "serving_int8",
+        (
+            f"int8 PTQ serving (mnist-lstm, batch {INT8_BATCH})\n"
+            f"  float64 : {full_rps:8.0f} img/s\n"
+            f"  int8    : {quant_rps:8.0f} img/s  ({speedup:.2f}x, "
+            f"target >= {INT8_TARGET_SPEEDUP}x)\n"
+            f"  labels  : {agree}/{INT8_BATCH} agree  "
+            f"(max logit diff {max_logit_diff:.2e})\n"
+            f"  weights : {int8_bytes} int8 bytes vs {fp64_bytes} fp64 "
+            f"({fp64_bytes / int8_bytes:.1f}x smaller)"
+        ),
+    )
+    assert agree == INT8_BATCH, (
+        f"int8 flipped {INT8_BATCH - agree} of {INT8_BATCH} labels"
+    )
+    if SMOKE:
+        return
+    assert speedup >= INT8_TARGET_SPEEDUP, (
+        f"int8 serving only {speedup:.2f}x float64 "
+        f"(need >= {INT8_TARGET_SPEEDUP}x)"
+    )
+    _merge_bench_json(
+        {
+            "int8": {
+                "batch": INT8_BATCH,
+                "rounds": INT8_ROUNDS,
+                "float64_rps": round(full_rps, 1),
+                "int8_rps": round(quant_rps, 1),
+                "speedup": round(speedup, 2),
+                "target_speedup": INT8_TARGET_SPEEDUP,
+                "label_agreement": f"{agree}/{INT8_BATCH}",
+                "max_logit_diff": float(f"{max_logit_diff:.3e}"),
+                "int8_weight_bytes": int8_bytes,
+                "float64_weight_bytes": fp64_bytes,
+            }
+        }
     )
 
 

@@ -69,6 +69,7 @@ from repro.obs import Obs
 from repro.parallel.allreduce import ALGORITHMS
 from repro.parallel.buckets import DEFAULT_BUCKET_MB
 from repro.compile.config import use_compiled
+from repro.tensor.amp import use_amp
 from repro.tensor.fused import use_fused
 from repro.utils.ascii_plot import line_chart
 
@@ -98,6 +99,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
              "execution; default: the REPRO_COMPILE environment setting, "
              "i.e. off",
     )
+    parser.add_argument(
+        "--amp", action=argparse.BooleanOptionalAction, default=None,
+        help="train with emulated mixed precision: fp16 parameter "
+             "storage, fp32 master weights and dynamic loss scaling "
+             "(docs/mixed_precision.md); --no-amp forces full precision; "
+             "default: the REPRO_AMP environment setting, i.e. off",
+    )
 
 
 def _apply_engine_flags(args: argparse.Namespace) -> None:
@@ -105,6 +113,8 @@ def _apply_engine_flags(args: argparse.Namespace) -> None:
         use_fused(args.fused)
     if getattr(args, "compiled", None) is not None:
         use_compiled(args.compiled)
+    if getattr(args, "amp", None) is not None:
+        use_amp(args.amp)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -248,6 +258,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"gradient bucket capacity in MiB (default {DEFAULT_BUCKET_MB}; "
              "0 selects the monolithic single-buffer reduction)",
     )
+    par.add_argument(
+        "--wire-dtype", default=None, choices=("fp32", "fp16", "bf16"),
+        help="compress gradient buckets to this dtype on the wire "
+             "(accumulation stays wide; fp16 halves allreduce bytes vs "
+             "fp32 — see docs/mixed_precision.md); default: the "
+             "parameter dtype, uncompressed",
+    )
+    par.add_argument(
+        "--stochastic-rounding", action="store_true",
+        help="round fp16 wire values stochastically instead of "
+             "round-to-nearest (unbiased; requires --wire-dtype fp16)",
+    )
     res = tr.add_argument_group(
         "resilience",
         "fault-tolerant training (see docs/resilience.md); activated by "
@@ -346,6 +368,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--paced-sample-ms", type=float, default=1.0, metavar="MS",
         help="per-sample term of the paced service time (default 1)",
     )
+    sv.add_argument(
+        "--quantize", default=None, choices=("int8",),
+        help="serve through the int8 post-training-quantized executor "
+             "(mnist only; docs/mixed_precision.md); default: full "
+             "precision",
+    )
     sv.add_argument("--seed", type=int, default=0)
     _add_engine_flags(sv)
     _add_obs_flags(sv)
@@ -435,6 +463,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.wire_dtype is not None or args.stochastic_rounding:
+        if args.workers is None or args.checkpoint_dir is not None:
+            print(
+                "--wire-dtype/--stochastic-rounding require --workers "
+                "(without --checkpoint-dir)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.stochastic_rounding and args.wire_dtype != "fp16":
+            print(
+                "--stochastic-rounding requires --wire-dtype fp16",
+                file=sys.stderr,
+            )
+            return 2
+        if args.bucket_mb <= 0:
+            print(
+                "--wire-dtype requires the bucketed path (--bucket-mb > 0)",
+                file=sys.stderr,
+            )
+            return 2
     obs = _build_obs(args)
 
     def train(obs=None):
@@ -456,6 +504,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 seed=args.seed, epochs=args.epochs, obs=obs,
                 metrics_every=args.metrics_every,
                 backend=args.parallel_backend,
+                wire_dtype=args.wire_dtype,
+                stochastic_rounding=args.stochastic_rounding,
             )
         return wl.run(batch, schedule, seed=args.seed, epochs=args.epochs,
                       obs=obs, metrics_every=args.metrics_every)
@@ -478,10 +528,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
             if overlap is not None
             else ""
         )
+        wire = f", {args.wire_dtype} wire" if args.wire_dtype else ""
         print(
             f"parallel: {args.workers} workers "
             f"({args.parallel_backend}), {args.allreduce_algo} "
-            f"all-reduce{extra}"
+            f"all-reduce{wire}{extra}"
         )
     if args.checkpoint_dir is not None:
         faults = int(result.final_metrics.get("faults_detected", 0))
@@ -532,18 +583,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # serving defaults to the fused kernels (forward parity, no autodiff
     # tape); --no-fused still selects the reference engine
     fused = True if args.fused is None else bool(args.fused)
+    if args.quantize is not None and task != "mnist":
+        print("--quantize int8 supports the mnist task only", file=sys.stderr)
+        return 2
+    eng_kwargs = dict(fused=fused, quantize=args.quantize)
     model = wl.make_model(args.seed)
     manager = None
     if args.snapshot is not None:
         snap = pathlib.Path(args.snapshot)
         if snap.is_dir():
             manager = CheckpointManager(snap)
-            engine = InferenceEngine.from_manager(manager, model, task, fused=fused)
+            engine = InferenceEngine.from_manager(manager, model, task, **eng_kwargs)
         else:
-            engine = InferenceEngine.from_checkpoint(snap, model, task, fused=fused)
+            engine = InferenceEngine.from_checkpoint(snap, model, task, **eng_kwargs)
         source = str(snap)
     else:
-        engine = InferenceEngine(model, task, fused=fused)
+        engine = InferenceEngine(model, task, **eng_kwargs)
         source = "fresh model"
     pool = _serve_payload_pool(wl, args.workload, args.seed)
 
@@ -562,14 +617,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             replica_model = wl.make_model(args.seed)
             if manager is not None:
                 eng = InferenceEngine.from_manager(
-                    manager, replica_model, task, fused=fused
+                    manager, replica_model, task, **eng_kwargs
                 )
             elif snap_path is not None:
                 eng = InferenceEngine.from_checkpoint(
-                    snap_path, replica_model, task, fused=fused
+                    snap_path, replica_model, task, **eng_kwargs
                 )
             else:
-                eng = InferenceEngine(replica_model, task, fused=fused)
+                eng = InferenceEngine(replica_model, task, **eng_kwargs)
             if paced_fixed is not None:
                 eng = PacedEngine(
                     eng, t_fixed_ms=paced_fixed, t_sample_ms=paced_sample
@@ -625,9 +680,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     else:
         with obs.activate():
             report = bench()
+    quant = f", {args.quantize} quantized" if args.quantize else ""
     print(
-        f"serving {args.workload} ({task} head, version {engine.version}, "
-        f"{source}; max batch {args.max_batch}, "
+        f"serving {args.workload} ({task} head{quant}, "
+        f"version {engine.version}, {source}; max batch {args.max_batch}, "
         f"max wait {args.max_wait_ms:g} ms)"
     )
     if args.replicas > 1:

@@ -157,13 +157,16 @@ class Workload:
         epochs: int | None = None,
         obs=None,
         metrics_every: int = 0,
+        amp: bool | None = None,
     ) -> TrainResult:
         """Train one configuration from scratch and evaluate each epoch.
 
         ``obs`` is an optional :class:`repro.obs.Obs` handed through to the
         trainer for span/metric instrumentation; ``metrics_every > 0``
         additionally samples the registry into its time-series ring every
-        that many iterations.
+        that many iterations.  ``amp`` selects emulated mixed-precision
+        training (fp16 storage + fp32 master weights + dynamic loss
+        scaling; ``None`` follows the ``REPRO_AMP`` env default).
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
@@ -177,6 +180,7 @@ class Workload:
             grad_clip=self.grad_clip,
             obs=obs,
             metrics_every=metrics_every,
+            amp=amp,
         )
         return trainer.run(epochs if epochs is not None else self.epochs)
 
@@ -194,6 +198,8 @@ class Workload:
         obs=None,
         metrics_every: int = 0,
         backend: str = "sim",
+        wire_dtype: str | None = None,
+        stochastic_rounding: bool = False,
     ) -> TrainResult:
         """Train through a ``workers``-way data-parallel cluster.
 
@@ -210,6 +216,12 @@ class Workload:
         :class:`~repro.parallel.mp.MultiprocessCluster`, with worker
         telemetry (per-worker ``parallel/w<i>/...`` metrics and merged
         traces) whenever ``obs`` carries a registry or tracer.
+
+        ``wire_dtype`` compresses gradient buckets on the wire
+        (``"fp16"``/``"bf16"``/``"fp32"``; see
+        :class:`~repro.parallel.buckets.GradientBuckets`), and
+        ``stochastic_rounding`` selects the unbiased-rounding fp16
+        ablation.  Both apply to either backend.
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
@@ -222,6 +234,8 @@ class Workload:
                 workers,
                 algorithm=algorithm,
                 bucket_mb=bucket_mb,
+                wire_dtype=wire_dtype,
+                stochastic_rounding=stochastic_rounding,
             )
             loss_fn = cluster.as_loss_fn()
         elif backend == "mp":
@@ -234,6 +248,8 @@ class Workload:
                 workers,
                 algorithm=algorithm,
                 bucket_mb=bucket_mb,
+                wire_dtype=wire_dtype,
+                stochastic_rounding=stochastic_rounding,
                 timeout=120.0,
                 telemetry=telemetry,
                 tracer=obs.tracer if obs is not None else None,
@@ -279,6 +295,7 @@ class Workload:
         fault_rate: float = 0.0,
         metrics_every: int = 0,
         workers: int = 0,
+        amp: bool | None = None,
     ) -> TrainResult:
         """Train with fault tolerance: hardened checkpoints + rollback.
 
@@ -293,6 +310,9 @@ class Workload:
         stays driver-side, so a NaN fault still rolls back even though
         the worker gradients were finite); ``metrics_every > 0`` turns on
         time-series sampling plus the default training health rules.
+        ``amp`` selects emulated mixed-precision training (single-process
+        only — incompatible with ``workers > 0``; ``None`` follows the
+        ``REPRO_AMP`` env default).
         """
         model = self.make_model(seed)
         train_iter = self.make_train_iter(batch, seed + 1)
@@ -329,6 +349,7 @@ class Workload:
             max_recoveries=max_recoveries,
             fault_injector=injector,
             metrics_every=metrics_every,
+            amp=amp,
         )
         self.last_health = trainer.health  # type: ignore[attr-defined]
         try:

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.obs.metrics import TRUST_RATIO_BUCKETS, get_active
+from repro.tensor.amp import fp16_roundtrip
 from repro.tensor.tensor import Tensor
 
 
@@ -50,6 +51,26 @@ class Optimizer:
         # while metrics are active; plain solvers apply no layer-wise
         # rescaling, i.e. λ = 1
         self._trust_ratios: dict[str, float] = {}
+        # emulated-AMP master-weight mode (see use_master_weights)
+        self._master_mode = False
+        self._quantize = fp16_roundtrip
+
+    def use_master_weights(self, enabled: bool = True, quantize=None) -> None:
+        """Toggle fp16-storage / float64-master parameter mode.
+
+        With the mode on, each parameter keeps a full-precision *master*
+        copy in ``self.state[name]["master"]`` (so it rides the existing
+        ``opt/<name>/<key>`` checkpoint flow unchanged).  Updates apply
+        to the master; ``p.data`` is then refreshed with the master
+        rounded to the storage grid (``quantize``, default
+        :func:`repro.tensor.amp.fp16_roundtrip`).  Repeated tiny updates
+        therefore accumulate in the master instead of vanishing under
+        the storage format's rounding — the standard mixed-precision
+        master-weight scheme.
+        """
+        self._master_mode = bool(enabled)
+        if quantize is not None:
+            self._quantize = quantize
 
     # -- main entry ---------------------------------------------------------
 
@@ -62,7 +83,18 @@ class Optimizer:
         for name, p in self.params:
             if p.grad is None:
                 continue
-            if not self._fused_step(name, p, p.grad):
+            if self._master_mode:
+                # master mode bypasses the fused in-place kernels: those
+                # update p.data directly, which would round the update
+                # through the storage grid before the master ever saw it
+                st = self._get_state(name, master=p.data)
+                master = st["master"]
+                grad = np.asarray(p.grad, dtype=np.float64)
+                if self.weight_decay != 0.0:
+                    grad = grad + self.weight_decay * master
+                master -= self._update(name, p, grad)
+                p.data[...] = self._quantize(master)
+            elif not self._fused_step(name, p, p.grad):
                 grad = p.grad
                 if self.weight_decay != 0.0:
                     grad = grad + self.weight_decay * p.data
@@ -99,6 +131,11 @@ class Optimizer:
         return buf
 
     def _get_state(self, name: str, **arrays: np.ndarray) -> dict[str, np.ndarray]:
-        if name not in self.state:
-            self.state[name] = {k: v.copy() for k, v in arrays.items()}
-        return self.state[name]
+        # merge missing keys rather than create-all-or-nothing: master
+        # weights seed state[name] before the solver's own arrays exist,
+        # and a later _get_state(name, velocity=...) must still add them
+        st = self.state.setdefault(name, {})
+        for k, v in arrays.items():
+            if k not in st:
+                st[k] = v.copy()
+        return st

@@ -3,6 +3,14 @@
 Both PTB models and GNMT clip by global norm in the reference
 implementations the paper builds on; clipping is applied between
 ``backward()`` and ``optimizer.step()`` by the trainer.
+
+Non-finite norms are *diagnosed, not clipped*: an inf norm would compute
+``scale = max_norm / inf = 0.0`` and silently zero every gradient —
+converting an overflow the loss scaler must observe into a fake all-zero
+step — and a NaN norm fails every comparison and skips clipping while
+looking like success.  Both cases now leave the gradients untouched and
+return the non-finite norm for the caller (the loss scaler's skip path,
+or the trainer's divergence bookkeeping) to act on.
 """
 
 from __future__ import annotations
@@ -10,15 +18,23 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.tensor.tensor import Tensor
 
 
 def global_grad_norm(params: Sequence[Tensor]) -> float:
-    """L2 norm of the concatenation of all parameter gradients."""
+    """L2 norm of the concatenation of all parameter gradients.
+
+    Accumulates in float64 regardless of gradient storage dtype, so a
+    large-but-finite float16 gradient does not overflow inside the norm
+    itself (65504² is already inf in fp16 arithmetic).
+    """
     total = 0.0
     for p in params:
         if p.grad is not None:
-            total += float((p.grad * p.grad).sum())
+            g = np.asarray(p.grad, dtype=np.float64)
+            total += float((g * g).sum())
     return math.sqrt(total)
 
 
@@ -26,10 +42,14 @@ def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
     """Scale all gradients so their global norm is at most ``max_norm``.
 
     Returns the pre-clip norm (useful for divergence diagnostics in the
-    warmup experiments).
+    warmup experiments).  A non-finite norm (inf/NaN gradient overflow)
+    leaves every gradient untouched and is simply returned — clipping an
+    overflow would destroy the very signal the loss scaler skips on.
     """
     params = [p for p in params if p.grad is not None]
     norm = global_grad_norm(params)
+    if not math.isfinite(norm):
+        return norm
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
         for p in params:

@@ -7,11 +7,20 @@ reduced-precision format, divide the gradients by ``S`` before the step,
 and adapt ``S`` dynamically — halve on overflow (skipping that step),
 double after a streak of clean steps.
 
-Our engine computes in float64 where nothing underflows, so the scaler's
-numerical *motivation* is simulated rather than physical — but the
-*algorithm* (scale, unscale, skip-on-overflow, adapt) is implemented and
-tested exactly, including the invariant that on clean steps the applied
-update is bit-identical to unscaled training.
+With the emulated fp16 mode (:mod:`repro.tensor.amp`) the motivation is
+physical again: gradients stored as ``np.float16`` genuinely overflow to
+inf above 65504 and flush to zero below ~6e-8, so the scaler's
+skip-on-overflow path fires on real overflow events.  Unscaling always
+lands in a fresh **float64 master-space** gradient when the stored
+gradient is lower precision — an in-place ``*=`` on a float16 array
+would round the unscaled value straight back to the fp16 grid, losing
+the mantissa bits the scale existed to protect.  Float64 gradients keep
+the in-place fast path: the scale is a power of two, so dividing is
+exact and clean-step updates stay bit-identical to unscaled training.
+
+When a metrics registry is active (:mod:`repro.obs.metrics`), every
+check records ``amp/steps_clean`` / ``amp/steps_skipped`` counters and
+the ``amp/loss_scale`` gauge.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_active
 from repro.tensor.tensor import Tensor
 
 
@@ -71,7 +81,14 @@ class DynamicLossScaler:
         step); on any non-finite gradient every gradient is dropped
         (set to ``None``, exactly like ``zero_grad``), the step must be
         skipped, and the scale backs off.
+
+        Lower-precision gradients (fp16 storage under the emulated AMP
+        mode) are unscaled into *new float64 arrays* — master space —
+        so the division recovers magnitudes the storage format cannot
+        represent; float64 gradients are unscaled in place (exact:
+        the scale is a power of two).
         """
+        reg = get_active()
         finite = True
         for p in params:
             if p.grad is None:
@@ -82,12 +99,19 @@ class DynamicLossScaler:
         if finite:
             inv = 1.0 / self.scale
             for p in params:
-                if p.grad is not None:
+                if p.grad is None:
+                    continue
+                if p.grad.dtype == np.float64:
                     p.grad *= inv
+                else:
+                    p.grad = p.grad.astype(np.float64) * inv
             self._clean_steps += 1
             if self._clean_steps >= self.growth_interval:
                 self.scale = min(self.scale * self.growth_factor, self.max_scale)
                 self._clean_steps = 0
+            if reg is not None:
+                reg.counter("amp/steps_clean").inc()
+                reg.gauge("amp/loss_scale").set(self.scale)
             return True
         for p in params:
             if p.grad is not None:
@@ -95,12 +119,20 @@ class DynamicLossScaler:
         self.scale = max(self.scale * self.backoff_factor, self.min_scale)
         self._clean_steps = 0
         self.steps_skipped += 1
+        if reg is not None:
+            reg.counter("amp/steps_skipped").inc()
+            reg.gauge("amp/loss_scale").set(self.scale)
         return False
 
     # -- checkpointing ------------------------------------------------------
 
     def state_dict(self) -> dict[str, float]:
-        """The adaptive state needed for a bit-exact resume."""
+        """The adaptive state needed for a bit-exact resume.
+
+        ``clean_steps`` is the position inside the current growth streak:
+        dropping it on restore would delay (or, worse, double-apply) the
+        next scale growth relative to the uninterrupted run.
+        """
         return {
             "scale": self.scale,
             "clean_steps": float(self._clean_steps),
@@ -108,6 +140,17 @@ class DynamicLossScaler:
         }
 
     def load_state_dict(self, state: dict[str, float]) -> None:
-        self.scale = float(state["scale"])
-        self._clean_steps = int(state["clean_steps"])
+        for key in ("scale", "clean_steps", "steps_skipped"):
+            if key not in state:
+                raise KeyError(f"scaler state missing {key!r}")
+        scale = float(state["scale"])
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError(f"invalid scaler scale {scale!r}")
+        clean = int(state["clean_steps"])
+        if clean < 0 or clean >= self.growth_interval:
+            raise ValueError(
+                f"clean_steps {clean} outside [0, {self.growth_interval})"
+            )
+        self.scale = scale
+        self._clean_steps = clean
         self.steps_skipped = int(state["steps_skipped"])

@@ -29,10 +29,27 @@ design offline:
   fraction, and the step time next to the monolithic baseline (all comm
   exposed after backward).
 
+A third half, added for mixed precision: **wire compression**.  With
+``wire_dtype="fp16"`` each packed bucket is cast to real ``np.float16``
+before entering the all-reduce schedule (which accumulates in float64
+internally — see :mod:`~repro.parallel.allreduce` — so only the *wire*
+loses precision, not the reduction), then cast back to the bucket dtype.
+The ``allreduce/*/bytes`` counters key on the buffers' own itemsize, so
+fp16 wires honestly report 2 bytes/element, and the α-β overlap timeline
+prices each bucket at its wire width — the ~2x (vs fp32) / 4x (vs fp64)
+comm-volume reduction the mixed-precision papers bank on.
+``wire_dtype="bf16"`` emulates bfloat16 values (fp32 range, 8-bit
+mantissa) but travels in float32 containers, NumPy having no bf16 dtype:
+the timeline prices it at its true 2 bytes while the ``allreduce/*``
+counters see the 4-byte container.  ``stochastic_rounding=True`` rounds
+the fp16 wire stochastically (unbiased) instead of to-nearest — the
+ablation knob.
+
 When a metrics registry is active, ``reduce_packed`` increments
-``parallel/buckets/reduced`` / ``parallel/buckets/bytes`` counters and
-:meth:`OverlapTimeline.record` sets the ``parallel/overlap/*`` gauges —
-see docs/parallel.md for the full counter contract.
+``parallel/buckets/reduced`` / ``parallel/buckets/bytes`` counters (the
+latter in wire bytes) and :meth:`OverlapTimeline.record` sets the
+``parallel/overlap/*`` gauges — see docs/parallel.md for the full
+counter contract.
 """
 
 from __future__ import annotations
@@ -45,10 +62,12 @@ import numpy as np
 from repro.obs.metrics import get_active
 from repro.parallel.allreduce import allreduce_mean_single
 from repro.parallel.cost import CommModel, allreduce_time
+from repro.tensor.amp import bf16_roundtrip, quantize_fp16_stochastic
 
 __all__ = [
     "DEFAULT_BUCKET_MB",
     "BACKWARD_FRACTION",
+    "WIRE_DTYPES",
     "BucketSlot",
     "Bucket",
     "GradientBuckets",
@@ -57,6 +76,9 @@ __all__ = [
 ]
 
 DEFAULT_BUCKET_MB = 25.0
+# accepted wire_dtype values and the per-element bytes each puts on the wire
+WIRE_DTYPES = (None, "fp32", "fp16", "bf16")
+_WIRE_ITEMSIZE = {"fp32": 4, "fp16": 2, "bf16": 2}
 # Share of an iteration spent in backward (the classic ~2x-forward rule of
 # thumb for LSTM stacks); used to turn a device-model iteration time into
 # the backward window communication can hide under.
@@ -112,15 +134,47 @@ class GradientBuckets:
         Target bucket capacity in MiB.  A single parameter larger than the
         cap still gets its own bucket (buckets never split a parameter);
         parameters of different dtypes never share a bucket.
+    wire_dtype:
+        ``None`` (ship buckets in their own dtype), ``"fp32"``,
+        ``"fp16"`` or ``"bf16"`` — compress each bucket to this format
+        for the all-reduce wire, accumulating in wider precision inside
+        the schedule and casting back afterwards.
+    stochastic_rounding:
+        Round the fp16 wire stochastically (unbiased, seeded) instead of
+        to-nearest.  Only meaningful with ``wire_dtype="fp16"``.
+    names:
+        Optional per-parameter names, used only to make dtype-mismatch
+        errors in :meth:`pack` name the offending parameter.
     """
 
-    def __init__(self, params: Sequence, bucket_mb: float = DEFAULT_BUCKET_MB):
+    def __init__(
+        self,
+        params: Sequence,
+        bucket_mb: float = DEFAULT_BUCKET_MB,
+        *,
+        wire_dtype: str | None = None,
+        stochastic_rounding: bool = False,
+        names: Sequence[str] | None = None,
+        seed: int = 0,
+    ):
         if bucket_mb <= 0:
             raise ValueError("bucket_mb must be positive")
+        if wire_dtype not in WIRE_DTYPES:
+            raise ValueError(
+                f"wire_dtype must be one of {WIRE_DTYPES}, got {wire_dtype!r}"
+            )
+        if stochastic_rounding and wire_dtype != "fp16":
+            raise ValueError("stochastic_rounding requires wire_dtype='fp16'")
         specs = [_param_spec(p) for p in params]
         if not specs:
             raise ValueError("need at least one parameter to bucket")
         self.bucket_mb = float(bucket_mb)
+        self.wire_dtype = wire_dtype
+        self.stochastic_rounding = bool(stochastic_rounding)
+        self._wire_rng = np.random.default_rng(seed)
+        self.names = list(names) if names is not None else None
+        if self.names is not None and len(self.names) != len(specs):
+            raise ValueError("names must align with params")
         self.n_params = len(specs)
         cap_bytes = bucket_mb * 2**20
 
@@ -156,6 +210,29 @@ class GradientBuckets:
         self.buckets: tuple[Bucket, ...] = tuple(buckets)
         self.total_elems = sum(b.size for b in self.buckets)
         self.total_bytes = sum(b.nbytes for b in self.buckets)
+        self.total_wire_bytes = sum(self.wire_nbytes(b) for b in self.buckets)
+
+    # -- wire compression ---------------------------------------------------
+
+    def wire_nbytes(self, bucket: Bucket) -> int:
+        """Bytes the bucket occupies on the all-reduce wire."""
+        if self.wire_dtype is None:
+            return bucket.nbytes
+        return bucket.size * _WIRE_ITEMSIZE[self.wire_dtype]
+
+    def _compress(self, buf: np.ndarray) -> np.ndarray:
+        """Cast one packed buffer to the wire format."""
+        if self.wire_dtype == "fp32":
+            return buf.astype(np.float32)
+        if self.wire_dtype == "fp16":
+            if self.stochastic_rounding:
+                return quantize_fp16_stochastic(buf, self._wire_rng)
+            with np.errstate(over="ignore"):  # overflow→inf, like real fp16
+                return buf.astype(np.float16)
+        # bf16 values in a float32 container (NumPy has no bf16 dtype); the
+        # allreduce/* byte counters therefore see 4 bytes/elem for bf16 —
+        # wire_nbytes() and the overlap timeline price the true 2
+        return bf16_roundtrip(buf).astype(np.float32)
 
     # -- introspection ------------------------------------------------------
 
@@ -198,16 +275,40 @@ class GradientBuckets:
         out: list[np.ndarray] = []
         for b in self.buckets:
             if len(b.slots) == 1:
-                g = np.asarray(grads[b.slots[0].param], dtype=b.dtype)
+                g = self._checked(grads[b.slots[0].param], b, b.slots[0])
                 out.append(g.reshape(-1))  # view when g is contiguous
                 continue
             buf = np.empty(b.size, dtype=b.dtype)
             for s in b.slots:
-                buf[s.offset : s.offset + s.size] = np.asarray(
-                    grads[s.param], dtype=b.dtype
+                buf[s.offset : s.offset + s.size] = self._checked(
+                    grads[s.param], b, s
                 ).reshape(-1)
             out.append(buf)
         return out
+
+    def _checked(self, grad, bucket: Bucket, slot: BucketSlot) -> np.ndarray:
+        """The gradient as an array, refusing a drifted dtype.
+
+        A silent ``np.asarray(..., dtype=...)`` cast here would corrupt
+        the wire format: the bucket was *planned* for the parameter's
+        registered dtype, and a gradient arriving in another one (an
+        fp16-storage gradient leaking into an fp64 bucket is the classic
+        mixed-precision mix-up) means the caller skipped the unscale /
+        master-space conversion.
+        """
+        g = np.asarray(grad)
+        if g.dtype != bucket.dtype:
+            label = (
+                self.names[slot.param]
+                if self.names is not None
+                else f"param {slot.param}"
+            )
+            raise TypeError(
+                f"gradient for {label} has dtype {g.dtype}, but its bucket "
+                f"was planned for {bucket.dtype} — unscale to the parameter "
+                "dtype before packing (or rebuild the buckets)"
+            )
+        return g
 
     def unpack(self, bucket_buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Per-parameter views into the bucket buffers (registration order)."""
@@ -237,15 +338,23 @@ class GradientBuckets:
         gradients in registration order.
         """
         reg = get_active()
+        compress = self.wire_dtype is not None
         reduced: list[np.ndarray] = []
         for j, bucket in enumerate(self.buckets):
             buffers = [wb[j] for wb in worker_buckets]
-            reduced.append(allreduce_mean_single(buffers, algorithm=algorithm))
+            if compress:
+                # the schedule accumulates in float64 internally, so only
+                # the wire (one cast each way) pays the precision cost
+                buffers = [self._compress(buf) for buf in buffers]
+            out = allreduce_mean_single(buffers, algorithm=algorithm)
+            if compress:
+                out = out.astype(bucket.dtype)
+            reduced.append(out)
             for wb in worker_buckets:
                 wb[j] = None  # type: ignore[call-overload]
         if reg is not None:
             reg.counter("parallel/buckets/reduced").inc(len(self.buckets))
-            reg.counter("parallel/buckets/bytes").inc(self.total_bytes)
+            reg.counter("parallel/buckets/bytes").inc(self.total_wire_bytes)
         return self.unpack(reduced)
 
     # -- the overlap timeline ----------------------------------------------
@@ -277,12 +386,15 @@ class GradientBuckets:
         for b in self.buckets:
             cum += b.size
             ready = backward_time * (cum / self.total_elems)
-            cost = allreduce_time(b.nbytes, p, comm, algorithm)
+            # each bucket is priced at its *wire* width: fp16 compression
+            # halves (vs fp32; quarters vs fp64) the β term of every bucket
+            wire_nbytes = self.wire_nbytes(b)
+            cost = allreduce_time(wire_nbytes, p, comm, algorithm)
             start = max(ready, prev_end)
             end = start + cost
             timings.append(
                 BucketTiming(
-                    index=b.index, nbytes=b.nbytes, ready=ready,
+                    index=b.index, nbytes=wire_nbytes, ready=ready,
                     start=start, end=end, comm=cost,
                 )
             )
@@ -296,7 +408,7 @@ class GradientBuckets:
             exposed_comm=exposed,
             step_time=max(backward_time, prev_end),
             monolithic_step_time=backward_time
-            + allreduce_time(self.total_bytes, p, comm, algorithm),
+            + allreduce_time(self.total_wire_bytes, p, comm, algorithm),
         )
 
 

@@ -102,6 +102,10 @@ class SimCluster:
     comm, device:
         α-β link and device models for the simulated overlap timeline
         (defaults: :class:`CommModel()` and a pure per-sample device).
+    wire_dtype, stochastic_rounding:
+        Wire compression for the bucketed reduction — see
+        :class:`~repro.parallel.buckets.GradientBuckets`.  Requires the
+        bucketed path (``bucket_mb`` not ``None``).
     """
 
     def __init__(
@@ -113,15 +117,28 @@ class SimCluster:
         bucket_mb: float | None = DEFAULT_BUCKET_MB,
         comm: CommModel | None = None,
         device: DeviceModel | None = None,
+        wire_dtype: str | None = None,
+        stochastic_rounding: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if wire_dtype is not None and bucket_mb is None:
+            raise ValueError(
+                "wire_dtype compression requires the bucketed path "
+                "(bucket_mb must not be None)"
+            )
         self.params = list(params)
         self.loss_fn = loss_fn
         self.n_workers = n_workers
         self.algorithm = algorithm
+        self.wire_dtype = wire_dtype
         self.buckets = (
-            GradientBuckets(self.params, bucket_mb=bucket_mb)
+            GradientBuckets(
+                self.params,
+                bucket_mb=bucket_mb,
+                wire_dtype=wire_dtype,
+                stochastic_rounding=stochastic_rounding,
+            )
             if bucket_mb is not None
             else None
         )

@@ -272,6 +272,10 @@ class MultiprocessCluster:
     bucket_mb:
         Gradient bucket capacity in MiB for the reduction (``None`` packs
         everything into one monolithic bucket).
+    wire_dtype, stochastic_rounding:
+        Wire compression for the bucketed reduction — see
+        :class:`~repro.parallel.buckets.GradientBuckets`.  The reduction
+        still accumulates in wide precision; only the wire narrows.
     timeout:
         Seconds to wait for any one shard before declaring its worker
         crashed or hung (``None`` waits forever — the seed behaviour).
@@ -313,6 +317,8 @@ class MultiprocessCluster:
         device: DeviceModel | None = None,
         telemetry: bool = False,
         tracer: Tracer | None = None,
+        wire_dtype: str | None = None,
+        stochastic_rounding: bool = False,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -324,6 +330,8 @@ class MultiprocessCluster:
         self.n_workers = n_workers
         self.algorithm = algorithm
         self.bucket_mb = bucket_mb
+        self.wire_dtype = wire_dtype
+        self.stochastic_rounding = bool(stochastic_rounding)
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
@@ -552,6 +560,9 @@ class MultiprocessCluster:
         buckets = GradientBuckets(
             params,
             bucket_mb=self.bucket_mb if self.bucket_mb is not None else 1e9,
+            wire_dtype=self.wire_dtype,
+            stochastic_rounding=self.stochastic_rounding,
+            names=order,
         )
         worker_buckets = []
         total_loss = 0.0

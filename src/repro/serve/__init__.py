@@ -30,6 +30,7 @@ applies unchanged to inference, so the serving layer's whole job is to
 from repro.serve.batcher import SHED, DynamicBatcher, Request
 from repro.serve.engine import InferenceEngine, PacedEngine, TASKS
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.quantize import QuantizedMnistRunner, quantize_int8
 from repro.serve.replica import ReplicaHandle
 from repro.serve.router import POLICIES, Router
 from repro.serve.server import (
@@ -48,6 +49,8 @@ __all__ = [
     "LoadReport",
     "run_open_loop",
     "run_closed_loop",
+    "QuantizedMnistRunner",
+    "quantize_int8",
     "Server",
     "Router",
     "ReplicaHandle",

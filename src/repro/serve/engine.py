@@ -58,6 +58,13 @@ class InferenceEngine:
         model).
     beam_size / length_alpha / max_len_factor:
         GNMT decoding knobs (ignored by the other tasks).
+    quantize:
+        ``"int8"`` serves the classify head through an int8
+        post-training-quantized float32 executor
+        (:class:`~repro.serve.quantize.QuantizedMnistRunner`) instead of
+        the full-precision model — currently ``mnist`` only.  Hot-swaps
+        requantize automatically.  ``None`` (default) serves full
+        precision.
     """
 
     def __init__(
@@ -70,9 +77,16 @@ class InferenceEngine:
         beam_size: int = 2,
         length_alpha: float = 0.6,
         max_len_factor: float = 2.5,
+        quantize: str | None = None,
     ) -> None:
         if task not in TASKS:
             raise ValueError(f"unknown task {task!r}; expected one of {TASKS}")
+        if quantize not in (None, "int8"):
+            raise ValueError(f"unknown quantize mode {quantize!r}")
+        if quantize is not None and task != "mnist":
+            raise ValueError(
+                "quantize='int8' is only supported for the mnist task"
+            )
         self.model = model
         self.task = task
         self.fused = bool(fused)
@@ -80,6 +94,12 @@ class InferenceEngine:
         self.beam_size = beam_size
         self.length_alpha = length_alpha
         self.max_len_factor = max_len_factor
+        self.quantize = quantize
+        self._quantized = None
+        if quantize is not None:
+            from repro.serve.quantize import QuantizedMnistRunner
+
+            self._quantized = QuantizedMnistRunner(model)
         self.model.eval()
 
     # -- construction from checkpoints -------------------------------------
@@ -121,6 +141,8 @@ class InferenceEngine:
         self.model.load_state_dict(state)
         self.model.eval()
         self.version = int(version)
+        if self._quantized is not None:
+            self._quantized.refresh(dict(self.model.named_parameters()))
 
     def load_version(self, path: str | pathlib.Path) -> int:
         """Load ``path`` into the model; returns the new version."""
@@ -128,14 +150,19 @@ class InferenceEngine:
         self.model.eval()
         step = CheckpointManager.step_of(path)
         self.version = step if step is not None else iteration
+        if self._quantized is not None:
+            self._quantized.refresh(dict(self.model.named_parameters()))
         return self.version
 
     # -- task heads --------------------------------------------------------
 
     def classify(self, images: np.ndarray) -> list[dict[str, Any]]:
         """MNIST-LSTM head: images ``(B, T, D)`` -> label + logits each."""
-        with no_grad(), fused_kernels(self.fused):
-            logits = self.model(np.asarray(images)).data
+        if self._quantized is not None:
+            logits = self._quantized.logits(np.asarray(images))
+        else:
+            with no_grad(), fused_kernels(self.fused):
+                logits = self.model(np.asarray(images)).data
         labels = logits.argmax(axis=1)
         return [
             {"label": int(labels[i]), "logits": logits[i].copy()}

@@ -1,0 +1,127 @@
+"""Int8 post-training quantization for the MNIST-LSTM serving path.
+
+Serving needs none of the training engine's machinery — no graph, no
+gradients, no float64.  This module exploits that: the classifier's
+weights are quantized once to **symmetric per-channel int8** (each output
+channel gets its own scale, the standard PTQ recipe), dequantized to
+float32, and the forward pass is re-implemented as straight-line NumPy
+float32 arithmetic mirroring the reference LSTM cell step for step.
+
+Two things make this faster than running the full-precision model:
+
+* float32 BLAS moves half the bytes of the engine's float64 matmuls, and
+* the executor skips the autodiff graph entirely — at serving batch
+  sizes the per-op ``Tensor`` bookkeeping is a large share of the
+  float64 path's time.
+
+Accuracy: int8 per-channel quantization of this model is label-stable —
+``tests/test_mixed_precision.py`` pins full label agreement against the
+float64 engine on held-out batches, and ``benchmarks/bench_serving.py``
+gates the throughput win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_int8", "dequantize", "QuantizedMnistRunner"]
+
+
+def quantize_int8(
+    w: np.ndarray, axis: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization; returns ``(q, scales)``.
+
+    ``axis`` is the *reduction* axis for the per-channel maxima: for an
+    ``(in, out)`` weight matrix, ``axis=0`` gives one scale per output
+    channel.  ``axis=None`` quantizes per-tensor.  Scales map int8 back
+    to real values (``w ≈ q * scales``); all-zero channels get scale 1
+    to avoid dividing by zero.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    amax = np.abs(w).max(axis=axis, keepdims=axis is not None)
+    scales = np.where(amax == 0.0, 1.0, amax / 127.0)
+    q = np.clip(np.rint(w / scales), -127, 127).astype(np.int8)
+    return q, np.asarray(scales, dtype=np.float32)
+
+
+def dequantize(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct float32 weights from int8 + per-channel scales."""
+    return q.astype(np.float32) * scales
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # numerically stable logistic, float32 in/out (mirrors stable_sigmoid)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ez = np.exp(x[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class QuantizedMnistRunner:
+    """Int8-quantized executor for :class:`repro.models.mnist_lstm`.
+
+    Built from the live model's parameters; call :meth:`refresh` after a
+    hot-swap to requantize from the new weights.  The forward pass is
+    the reference architecture verbatim — transform layer, one LSTM
+    layer, classifier head on the last step's hidden state — in
+    float32, with every weight matrix round-tripped through int8.
+    """
+
+    _WEIGHTS = ("transform.weight", "lstm.cells.0.kernel", "head.weight")
+    _BIASES = ("transform.bias", "lstm.cells.0.bias", "head.bias")
+
+    def __init__(self, model) -> None:
+        self.int8_bytes = 0
+        self.refresh(dict(model.named_parameters()))
+
+    def refresh(self, named) -> None:
+        """(Re)quantize from a name->Tensor/array mapping."""
+        missing = [
+            n for n in self._WEIGHTS + self._BIASES if n not in named
+        ]
+        if missing:
+            raise ValueError(
+                f"model is not the MNIST-LSTM classifier: missing {missing}"
+            )
+
+        def arr(name):
+            p = named[name]
+            return np.asarray(getattr(p, "data", p))
+
+        self.int8_bytes = 0
+        deq = {}
+        for name in self._WEIGHTS:
+            q, scales = quantize_int8(arr(name), axis=0)
+            self.int8_bytes += q.nbytes + scales.nbytes
+            deq[name] = dequantize(q, scales)
+        self.w_transform = deq["transform.weight"]
+        self.w_kernel = deq["lstm.cells.0.kernel"]
+        self.w_head = deq["head.weight"]
+        # biases stay full precision (standard PTQ; they are O(channels))
+        self.b_transform = arr("transform.bias").astype(np.float32)
+        self.b_kernel = arr("lstm.cells.0.bias").astype(np.float32)
+        self.b_head = arr("head.bias").astype(np.float32)
+        self.hidden = self.w_head.shape[0]
+
+    def logits(self, images: np.ndarray) -> np.ndarray:
+        """Float32 logits for a ``(B, T, D)`` batch of image sequences."""
+        x = np.asarray(images, dtype=np.float32)
+        batch = x.shape[0]
+        hs = self.hidden
+        # transform layer over all timesteps in one batched matmul
+        xt = x @ self.w_transform + self.b_transform  # (B, T, Dt)
+        h = np.zeros((batch, hs), dtype=np.float32)
+        c = np.zeros((batch, hs), dtype=np.float32)
+        kernel, bias = self.w_kernel, self.b_kernel
+        for t in range(xt.shape[1]):
+            z = np.concatenate([xt[:, t, :], h], axis=1) @ kernel + bias
+            i = _sigmoid(z[:, :hs])
+            f = _sigmoid(z[:, hs : 2 * hs])
+            g = np.tanh(z[:, 2 * hs : 3 * hs])
+            o = _sigmoid(z[:, 3 * hs :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+        return h @ self.w_head + self.b_head

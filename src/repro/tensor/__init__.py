@@ -57,6 +57,16 @@ from repro.tensor.nnops import (
 )
 from repro.tensor.conv import conv2d, max_pool2d, avg_pool2d
 from repro.tensor.fused import use_fused, fused_enabled, fused_kernels
+from repro.tensor.amp import (
+    use_amp,
+    amp_enabled,
+    mixed_precision,
+    autocast,
+    autocast_active,
+    fp16_roundtrip,
+    bf16_roundtrip,
+    quantize_fp16_stochastic,
+)
 from repro.compile.config import use_compiled, compiled_enabled, compiled_graphs
 from repro.tensor.gradcheck import gradcheck, numeric_grad, GradcheckReport
 
@@ -87,6 +97,14 @@ __all__ = [
     "use_fused",
     "fused_enabled",
     "fused_kernels",
+    "use_amp",
+    "amp_enabled",
+    "mixed_precision",
+    "autocast",
+    "autocast_active",
+    "fp16_roundtrip",
+    "bf16_roundtrip",
+    "quantize_fp16_stochastic",
     "use_compiled",
     "compiled_enabled",
     "compiled_graphs",

@@ -24,6 +24,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.tensor import amp as _amp
+
 # --------------------------------------------------------------------------
 # global grad-mode switch
 # --------------------------------------------------------------------------
@@ -170,6 +172,10 @@ class Tensor:
         # ``replay`` is not stored on the tensor: it only exists for the
         # duration of this call, where an attached recorder (profiler-style
         # monkey-patch, see repro.compile.recorder) can capture it.
+        if _amp._AUTOCAST and replay is not REPLAY_VIEW:
+            # emulated fp16 storage: op outputs round to the float16 grid,
+            # out of place so views keep sharing their parents' buffers
+            data = _amp.fp16_roundtrip(data)
         out = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True

@@ -34,6 +34,8 @@ import math
 import pathlib
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.obs import Obs
 from repro.obs.metrics import GRAD_NORM_BUCKETS
 from repro.obs.telemetry import HealthMonitor, default_training_rules
@@ -42,6 +44,7 @@ from repro.optim.clip import clip_grad_norm
 from repro.optim.ema import EMAWeights
 from repro.optim.loss_scaler import DynamicLossScaler
 from repro.schedules.base import Schedule
+from repro.tensor.amp import amp_enabled, autocast
 from repro.train.trainer import TrainResult, _record_point
 from repro.utils.checkpoint import CheckpointManager, read_checkpoint_extra
 from repro.utils.log import RunLog
@@ -125,6 +128,16 @@ class ResilientTrainer:
         Optional :class:`DynamicLossScaler` (scaled backward, skip on
         overflow) and :class:`EMAWeights` (updated after each step); both
         are covered by checkpoints.
+    amp:
+        Emulated mixed-precision, as for
+        :class:`~repro.train.trainer.Trainer`: autocast forward, fp16
+        gradient storage, a default loss scaler when none is given, and
+        float64 master weights in the optimizer (checkpointed with the
+        rest of the optimizer state, so rollback and resume stay
+        bit-exact).  ``None`` follows the ``REPRO_AMP`` default; a
+        cluster-driven ``gradient_fn`` keeps the default off and rejects
+        an explicit ``True`` (scale the wire instead — see
+        ``wire_dtype`` in :mod:`repro.parallel.buckets`).
     fault_injector:
         Optional ``(iteration, loss) -> loss`` hook, e.g.
         :class:`~repro.parallel.faults.LossFaultInjector` — how the tests
@@ -162,6 +175,7 @@ class ResilientTrainer:
         lr_backoff: float = 0.5,
         rewarmup_iters: int | None = None,
         loss_scaler: DynamicLossScaler | None = None,
+        amp: bool | None = None,
         ema: EMAWeights | None = None,
         fault_injector: Callable[[int, float], float] | None = None,
         metrics_every: int = 0,
@@ -175,6 +189,14 @@ class ResilientTrainer:
             raise ValueError("lr_backoff must be in (0, 1]")
         if gradient_fn is not None and loss_scaler is not None:
             raise ValueError("gradient_fn and loss_scaler are mutually exclusive")
+        if amp and gradient_fn is not None:
+            raise ValueError(
+                "amp=True and gradient_fn are mutually exclusive: a cluster "
+                "installs pre-averaged gradients the scaler never saw; use "
+                "wire_dtype compression on the cluster instead"
+            )
+        if amp is None:
+            amp = amp_enabled() and gradient_fn is None
         self.model = model
         self.optimizer = optimizer
         self.envelope = RecoverySchedule(schedule)
@@ -191,6 +213,11 @@ class ResilientTrainer:
         if rewarmup_iters is None:
             rewarmup_iters = int(getattr(train_iter, "steps_per_epoch", 1) or 1)
         self.rewarmup_iters = int(rewarmup_iters)
+        self.amp = bool(amp)
+        if self.amp and loss_scaler is None:
+            loss_scaler = DynamicLossScaler()
+        if self.amp:
+            optimizer.use_master_weights()
         self.loss_scaler = loss_scaler
         self.ema = ema
         self.fault_injector = fault_injector
@@ -307,7 +334,14 @@ class ResilientTrainer:
                         with obs.span("gradient"):
                             loss_val = float(self.gradient_fn(batch))
                 else:
-                    if tracer is None:
+                    if self.amp:
+                        with autocast():
+                            if tracer is None:
+                                loss = self.loss_fn(batch)
+                            else:
+                                with obs.span("forward"):
+                                    loss = self.loss_fn(batch)
+                    elif tracer is None:
                         loss = self.loss_fn(batch)
                     else:
                         with obs.span("forward"):
@@ -332,6 +366,13 @@ class ResilientTrainer:
                     else:
                         with obs.span("backward"):
                             backprop.backward()
+                    if self.amp:
+                        # emulated fp16 gradient storage: genuine overflow
+                        # to inf is the signal the scaler skips on
+                        with np.errstate(over="ignore"):
+                            for _, p in self.optimizer.params:
+                                if p.grad is not None:
+                                    p.grad = p.grad.astype(np.float16)
                     if scaler is not None:
                         params = [p for _, p in self.optimizer.params]
                         if not scaler.unscale_and_check(params):

@@ -33,7 +33,10 @@ from repro.obs import Obs
 from repro.obs.metrics import GRAD_NORM_BUCKETS
 from repro.optim.base import Optimizer
 from repro.optim.clip import clip_grad_norm
+from repro.optim.loss_scaler import DynamicLossScaler
 from repro.schedules.base import Schedule
+from repro.tensor.amp import amp_enabled, autocast
+from repro.tensor.tensor import Tensor
 from repro.utils.log import RunLog
 
 
@@ -110,6 +113,24 @@ class Trainer:
         :func:`repro.tensor.use_compiled` / ``REPRO_COMPILE`` switch;
         an explicit bool overrides it.  ``compile/*`` counters land in
         the obs metrics registry when one is attached.
+    amp:
+        Emulated mixed-precision training (:mod:`repro.tensor.amp`):
+        the forward pass runs under :func:`~repro.tensor.amp.autocast`
+        (op outputs rounded to the fp16 grid), gradients are stored as
+        real ``np.float16`` after backward, the loss is scaled by a
+        :class:`~repro.optim.loss_scaler.DynamicLossScaler`, and the
+        optimizer keeps float64 master weights.  Overflow steps are
+        *skipped* (scale backs off, the schedule marches on) — never
+        clipped.  ``None`` (the default) follows the global
+        :func:`repro.tensor.use_amp` / ``REPRO_AMP`` switch; an explicit
+        bool overrides it.  AMP is incompatible with graph capture, so
+        a ``compiled`` trainer never defaults AMP on (requesting both
+        explicitly raises).
+    loss_scaler:
+        The scaler to use under ``amp`` (a default-configured
+        :class:`DynamicLossScaler` is created when omitted).  May also
+        be passed without ``amp`` to exercise the scale/unscale
+        algorithm on float64 gradients, where it is bit-exact.
     """
 
     def __init__(
@@ -124,11 +145,22 @@ class Trainer:
         obs: Obs | None = None,
         metrics_every: int = 0,
         compiled: bool | None = None,
+        amp: bool | None = None,
+        loss_scaler: DynamicLossScaler | None = None,
     ) -> None:
         if metrics_every < 0:
             raise ValueError("metrics_every must be >= 0")
+        if amp and compiled:
+            raise ValueError(
+                "amp=True is incompatible with compiled=True: autocast "
+                "replaces op output buffers, breaking in-place replay"
+            )
         if compiled is None:
-            compiled = compiled_enabled()
+            # an explicit amp=True wins over the REPRO_COMPILE default
+            compiled = compiled_enabled() and not amp
+        if amp is None:
+            # a compiled trainer keeps the REPRO_AMP default off
+            amp = amp_enabled() and not compiled
         if compiled and not isinstance(loss_fn, CompiledStep):
             loss_fn = CompiledStep(loss_fn)
         self.loss_fn = loss_fn
@@ -140,6 +172,12 @@ class Trainer:
         self.callbacks = list(callbacks or [])
         self.obs = obs
         self.metrics_every = metrics_every
+        self.amp = bool(amp)
+        if self.amp and loss_scaler is None:
+            loss_scaler = DynamicLossScaler()
+        self.loss_scaler = loss_scaler
+        if self.amp:
+            optimizer.use_master_weights()
 
     def run(self, epochs: int, log_every: int = 1) -> TrainResult:
         obs = self.obs
@@ -184,11 +222,20 @@ class Trainer:
             if iteration > 0 and last_logged != iteration - 1:
                 _record_point(log, iteration - 1, loss_val, lr, norm)
 
+        amp_on = self.amp
+        scaler = self.loss_scaler
         for epoch in range(epochs):
             for batch in self.train_iter:
                 lr = self.schedule(iteration)
                 self.optimizer.zero_grad()
-                if tracer is None:
+                if amp_on:
+                    with autocast():
+                        if tracer is None:
+                            loss = self.loss_fn(batch)
+                        else:
+                            with obs.span("forward"):
+                                loss = self.loss_fn(batch)
+                elif tracer is None:
                     loss = self.loss_fn(batch)
                 else:
                     with obs.span("forward"):
@@ -205,11 +252,42 @@ class Trainer:
                     result.epochs_completed = epoch
                     result.final_metrics["diverged"] = 1.0
                     return result
+                # the scaler only applies to a real graph loss: cluster
+                # adapters (repro.parallel) install pre-averaged gradients
+                # and return a no-op-backward stub that cannot be scaled
+                use_scaler = scaler is not None and isinstance(loss, Tensor)
+                backprop = scaler.scaled(loss) if use_scaler else loss
                 if tracer is None:
-                    loss.backward()
+                    backprop.backward()
                 else:
                     with obs.span("backward"):
-                        loss.backward()
+                        backprop.backward()
+                if amp_on and use_scaler:
+                    # emulated fp16 gradient storage: overflow to inf above
+                    # 65504 is genuine here — it is what the scaler skips on
+                    with np.errstate(over="ignore"):
+                        for _, p in self.optimizer.params:
+                            if p.grad is not None:
+                                p.grad = p.grad.astype(np.float16)
+                if use_scaler:
+                    params = [p for _, p in self.optimizer.params]
+                    if not scaler.unscale_and_check(params):
+                        # overflow: skip the step (never clip), back off the
+                        # scale, and let the schedule march on
+                        norm = None
+                        if mreg is not None:
+                            mreg.counter("train/iterations").inc()
+                            mreg.gauge("train/loss").set(loss_val)
+                            mreg.gauge("train/lr").set(lr)
+                            if sample_every and (iteration + 1) % sample_every == 0:
+                                mreg.sample(step=iteration)
+                        if iteration % log_every == 0:
+                            _record_point(log, iteration, loss_val, lr, None)
+                            last_logged = iteration
+                        for callback in self.callbacks:
+                            callback.on_iteration(iteration, loss_val, lr)
+                        iteration += 1
+                        continue
                 if self.grad_clip is not None:
                     params = [p for _, p in self.optimizer.params]
                     if tracer is None:

@@ -9,6 +9,7 @@ from repro.data import ArrayDataset, BatchIterator, make_sequential_mnist
 from repro.models import MnistLSTMClassifier
 from repro.optim import Momentum, SGD
 from repro.schedules import ConstantLR
+from repro.tensor.amp import amp_enabled
 from repro.train import AccumulatingTrainer, Trainer, accumulate_gradients
 
 
@@ -88,10 +89,15 @@ class TestAccumulatingTrainer:
             accum_steps=4,
         ).run(2)
 
+        # Under emulated mixed precision the forward quantizes op outputs
+        # to the fp16 grid, and a batch-32 forward does not round the same
+        # way as four batch-8 forwards — the equivalence is only exact in
+        # full precision.
+        atol = 5e-3 if amp_enabled() else 1e-10
         for (na, pa), (nb, pb) in zip(
             big_model.named_parameters(), acc_model.named_parameters()
         ):
-            assert np.allclose(pa.data, pb.data, atol=1e-10), na
+            assert np.allclose(pa.data, pb.data, atol=atol), na
 
     def test_logical_iteration_count(self, mnist_small):
         model = make_model()

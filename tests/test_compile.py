@@ -345,10 +345,14 @@ class TestIntegration:
                 xb, yb = batch
                 return cross_entropy(model(Tensor(xb)), yb)
 
+            # amp=False: under REPRO_AMP=1 the eager run would pick amp
+            # up from the env while the compiled run drops it (compile
+            # wins over an env-default amp) — this test compares the
+            # compile path against eager, not against autocast
             return Trainer(
                 loss_fn, SGD(model, lr=0.1), ConstantLR(0.1),
                 BatchIterator(ArrayDataset(x, y), 16, rng=1),
-                grad_clip=1.0, compiled=compiled,
+                grad_clip=1.0, compiled=compiled, amp=False,
             ).run(3)
 
         eager = run(False)

@@ -13,6 +13,7 @@ from repro.data import BatchIterator, make_sequential_mnist
 from repro.models import MnistLSTMClassifier
 from repro.optim import DynamicLossScaler, EMAWeights, Momentum
 from repro.schedules import LEGW
+from repro.tensor.amp import amp_enabled
 from repro.train import AccumulatingTrainer, LambdaCallback, Trainer
 
 
@@ -49,10 +50,14 @@ class TestCompositions:
             accum_steps=big_batch // micro,
         ).run(2)
 
+        # The equivalence is exact only in full precision: emulated amp
+        # quantizes forward outputs to the fp16 grid, and a batch-32
+        # forward rounds differently than four batch-8 forwards.
+        atol = 5e-3 if amp_enabled() else 1e-10
         for (name, a), (_, b) in zip(
             big.named_parameters(), acc.named_parameters()
         ):
-            assert np.allclose(a.data, b.data, atol=1e-10), name
+            assert np.allclose(a.data, b.data, atol=atol), name
 
     def test_ema_tracks_training_through_callback(self, mnist):
         train, test = mnist

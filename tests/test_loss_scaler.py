@@ -108,3 +108,55 @@ class TestScaling:
             DynamicLossScaler(backoff_factor=1.5)
         with pytest.raises(ValueError):
             DynamicLossScaler(growth_interval=0)
+
+
+class TestStateDict:
+    def _drive(self, scaler, pattern):
+        """Run a clean/overflow step sequence; returns the scale history."""
+        x = Parameter(np.ones(4))
+        history = []
+        for overflow in pattern:
+            x.grad = np.full(4, np.inf) if overflow else np.ones(4)
+            scaler.unscale_and_check([x])
+            history.append(scaler.scale)
+        return history
+
+    def test_mid_streak_resume_is_bit_exact(self):
+        """Snapshotting inside a growth streak — and across a skipped
+        step — must reproduce the original scale trajectory exactly."""
+        pattern_before = [False, False, True, False]  # streak, skip, streak
+        pattern_after = [False, False, False, True, False, False]
+
+        original = DynamicLossScaler(initial_scale=256.0, growth_interval=3)
+        self._drive(original, pattern_before)
+        snapshot = original.state_dict()
+
+        resumed = DynamicLossScaler(initial_scale=256.0, growth_interval=3)
+        resumed.load_state_dict(snapshot)
+        assert resumed.scale == original.scale
+        assert resumed.steps_skipped == original.steps_skipped
+        assert self._drive(original, pattern_after) == self._drive(
+            resumed, pattern_after
+        )
+
+    def test_growth_streak_position_survives_roundtrip(self):
+        """The streak counter itself must persist: dropping it would make
+        a restored scaler grow late (or, with a naive reset, early)."""
+        scaler = DynamicLossScaler(initial_scale=8.0, growth_interval=3)
+        self._drive(scaler, [False, False])  # 2 of 3 clean steps
+        restored = DynamicLossScaler(initial_scale=8.0, growth_interval=3)
+        restored.load_state_dict(scaler.state_dict())
+        self._drive(restored, [False])  # completes the streak
+        assert restored.scale == 16.0
+
+    def test_load_rejects_corrupt_state(self):
+        scaler = DynamicLossScaler(growth_interval=4)
+        good = scaler.state_dict()
+        with pytest.raises((KeyError, ValueError)):
+            scaler.load_state_dict({k: v for k, v in good.items() if k != "scale"})
+        with pytest.raises(ValueError):
+            scaler.load_state_dict({**good, "scale": 0.0})
+        with pytest.raises(ValueError):
+            scaler.load_state_dict({**good, "scale": float("nan")})
+        with pytest.raises(ValueError):
+            scaler.load_state_dict({**good, "clean_steps": 4.0})
