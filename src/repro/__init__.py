@@ -16,6 +16,8 @@ Public surface
 * ``repro.serve``       — inference serving: dynamic batching,
                           checkpoint hot-swap, load generation
 * ``repro.analysis``    — local-Lipschitz diagnostics (Figure 3)
+* ``repro.adapt``       — online noise-scale estimation + closed-loop
+                          adaptive batch-size training
 * ``repro.obs``         — observability: span tracing, structured
                           metrics, op-level engine profiling
 * ``repro.experiments`` — one driver per table/figure of the paper
@@ -35,6 +37,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro import (
+    adapt,
     analysis,
     data,
     models,
@@ -53,6 +56,7 @@ from repro.schedules import LEGW
 __version__ = "1.0.0"
 
 __all__ = [
+    "adapt",
     "analysis",
     "data",
     "models",

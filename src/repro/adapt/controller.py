@@ -1,0 +1,113 @@
+"""Batch-size growth policy — the actuator of the adaptive loop.
+
+The "don't decay the learning rate, increase the batch size" recipe
+(Smith et al. 2017) hard-codes *when* to grow as epoch milestones
+(:class:`~repro.schedules.batchsize.GrowBatchSchedule`).  The
+:class:`BatchSizeController` closes the loop instead: it reads the
+measured critical batch ``B_noise`` from an
+:class:`~repro.adapt.estimator.OnlineNoiseScale` and grows the batch
+whenever training has left the noise-dominated regime far enough behind
+that a bigger batch would still enjoy near-linear speedup.
+
+Decision rule (evaluated at epoch boundaries, where the trainer can
+rebuild its loader cleanly):
+
+    grow  current → current * growth_factor   (clamped to max_batch)
+    when  target_ratio * B_noise  >=  hysteresis * (current * growth_factor)
+
+``target_ratio`` is the largest batch-to-critical-batch ratio worth
+running at (above 1 deliberately overshoots ``B_noise`` a little — the
+efficiency loss just past the critical batch is mild, and the wall-clock
+win is not); ``hysteresis > 1`` demands the evidence clear the bar by a
+margin so one noisy estimate cannot trigger growth; ``cooldown_epochs``
+spaces growth events so the re-warmup after one growth finishes before
+the next is considered.  The batch never shrinks — shrinking would
+re-enter the noise-dominated regime with nothing to show for it.
+"""
+
+from __future__ import annotations
+
+from repro.adapt.estimator import OnlineNoiseScale
+
+
+class BatchSizeController:
+    """Propose batch-size growth toward the measured critical batch."""
+
+    def __init__(
+        self,
+        base_batch: int,
+        max_batch: int,
+        target_ratio: float = 2.0,
+        hysteresis: float = 1.1,
+        growth_factor: float = 2.0,
+        cooldown_epochs: int = 1,
+    ) -> None:
+        if base_batch < 1:
+            raise ValueError("base_batch must be >= 1")
+        if max_batch < base_batch:
+            raise ValueError(
+                f"max_batch ({max_batch}) must be >= base_batch ({base_batch})"
+            )
+        if target_ratio <= 0.0:
+            raise ValueError("target_ratio must be positive")
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1 (a margin, not a discount)")
+        if growth_factor <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+        if cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be >= 0")
+        self.base_batch = int(base_batch)
+        self.max_batch = int(max_batch)
+        self.target_ratio = float(target_ratio)
+        self.hysteresis = float(hysteresis)
+        self.growth_factor = float(growth_factor)
+        self.cooldown_epochs = int(cooldown_epochs)
+        self.last_growth_epoch: int | None = None
+
+    def propose(
+        self, estimator: OnlineNoiseScale, current_batch: int, epoch: int
+    ) -> int:
+        """The batch size for the next epoch (== ``current_batch`` to hold).
+
+        Call once per epoch boundary; a return value larger than
+        ``current_batch`` is a growth decision the caller must enact
+        (and is recorded here for cooldown accounting).
+        """
+        if current_batch >= self.max_batch:
+            return current_batch
+        if not estimator.ready:
+            return current_batch  # not enough evidence to act on yet
+        if (
+            self.last_growth_epoch is not None
+            and epoch - self.last_growth_epoch <= self.cooldown_epochs
+        ):
+            return current_batch
+        grown = min(
+            self.max_batch, int(round(current_batch * self.growth_factor))
+        )
+        if self.target_ratio * estimator.critical_batch() >= self.hysteresis * grown:
+            self.last_growth_epoch = int(epoch)
+            return grown
+        return current_batch
+
+    # -- checkpoint coverage -------------------------------------------------
+
+    def state_dict(self) -> dict[str, float]:
+        return {
+            "last_growth_epoch": (
+                -1.0
+                if self.last_growth_epoch is None
+                else float(self.last_growth_epoch)
+            ),
+        }
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        raw = float(state["last_growth_epoch"])
+        self.last_growth_epoch = None if raw < 0 else int(raw)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSizeController({self.base_batch}→{self.max_batch}, "
+            f"x{self.growth_factor:g}, target_ratio={self.target_ratio:g}, "
+            f"hysteresis={self.hysteresis:g})"
+        )

@@ -39,14 +39,26 @@ from repro.utils.rng import as_generator
 def _grad_sq_norm(
     loss_fn: Callable[[object], Tensor], batch, params: Sequence[Tensor]
 ) -> float:
-    for p in params:
-        p.grad = None
-    loss_fn(batch).backward()
-    total = 0.0
-    for p in params:
-        if p.grad is not None:
-            total += float((p.grad * p.grad).sum())
-    return total
+    """Squared gradient norm of one probe batch, leaving ``p.grad`` as found.
+
+    The estimator runs *between* training steps (the online adaptive-batch
+    loop calls it mid-run), so any gradients already accumulated on the
+    parameters are saved before the probe backward and restored after —
+    a probe must never contaminate the next training ``backward()``.
+    """
+    saved = [p.grad for p in params]
+    try:
+        for p in params:
+            p.grad = None
+        loss_fn(batch).backward()
+        total = 0.0
+        for p in params:
+            if p.grad is not None:
+                total += float((p.grad * p.grad).sum())
+        return total
+    finally:
+        for p, g in zip(params, saved):
+            p.grad = g
 
 
 @dataclass

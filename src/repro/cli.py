@@ -53,6 +53,18 @@ hardened per-epoch checkpoints and divergence rollback, ``--resume``
 continues a killed run bit-exactly, ``--keep-last K`` bounds retention,
 ``--max-recoveries N`` bounds rollbacks, and ``--fault-rate P`` arms the
 seeded NaN-loss injector for demos and testing.
+
+``train`` also accepts the adaptive batch-size flags
+(docs/adaptive_batch.md): ``--adaptive-batch`` closes the loop on the
+online gradient noise scale (start at the base batch, grow toward the
+measured critical batch under the LEGW invariant), with ``--noise-every
+N`` setting the serial probe cadence, ``--target-ratio R`` the growth
+aggressiveness and ``--max-batch B`` the cap.  Adaptive training is
+incompatible with ``--compile`` (every batch-size change would force a
+graph recapture, thrashing the replay cache), with ``--amp``/
+``--fault-rate``, and with an explicit ``--batch`` (the loop owns the
+batch size); ``--workers`` composes — per-shard gradients then feed the
+estimator for free.
 """
 
 from __future__ import annotations
@@ -299,6 +311,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded per-iteration NaN-loss injection probability "
              "(demo/testing; default 0)",
     )
+    ada = tr.add_argument_group(
+        "adaptive batch size",
+        "closed-loop batch growth from the online noise scale "
+        "(see docs/adaptive_batch.md); activated by --adaptive-batch",
+    )
+    ada.add_argument(
+        "--adaptive-batch", action="store_true",
+        help="start at the base batch and grow toward the measured "
+             "critical batch (sqrt-LR rescale + LEGW re-warmup per "
+             "growth event)",
+    )
+    ada.add_argument(
+        "--noise-every", type=int, default=None, metavar="N",
+        help="iterations between paired micro-batch noise probes when "
+             "training serially (default 16; with --workers the "
+             "per-shard gradients feed the estimator every step for free)",
+    )
+    ada.add_argument(
+        "--target-ratio", type=float, default=None, metavar="R",
+        help="grow while R x the measured critical batch still covers "
+             "the next batch size (default 2.0; higher grows sooner)",
+    )
+    ada.add_argument(
+        "--max-batch", type=int, default=None, metavar="B",
+        help="largest batch the controller may grow to (default: the "
+             "workload's largest ladder entry)",
+    )
     _add_engine_flags(tr)
     _add_obs_flags(tr)
 
@@ -452,11 +491,74 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.fault_rate and args.checkpoint_dir is None:
         print("--fault-rate requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if not args.adaptive_batch:
+        for flag, value in (
+            ("--noise-every", args.noise_every),
+            ("--target-ratio", args.target_ratio),
+            ("--max-batch", args.max_batch),
+        ):
+            if value is not None:
+                print(f"{flag} requires --adaptive-batch", file=sys.stderr)
+                return 2
+    else:
+        if args.batch is not None:
+            print(
+                "--adaptive-batch owns the batch size (starts at the "
+                "workload's base batch); drop --batch",
+                file=sys.stderr,
+            )
+            return 2
+        if args.compiled:
+            # every growth changes the batch shape, forcing a graph
+            # recapture — the replay cache would thrash, never amortising
+            print(
+                "--adaptive-batch is incompatible with --compile "
+                "(batch-shape changes force graph recapture thrash)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.amp:
+            print(
+                "--adaptive-batch is incompatible with --amp",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fault_rate:
+            print(
+                "--adaptive-batch is incompatible with --fault-rate "
+                "(no rollback path in the adaptive trainer)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.schedule != "legw":
+            print(
+                "--adaptive-batch requires --schedule legw (growth "
+                "events rescale the LEGW envelope)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.parallel_backend != "sim" and args.workers is not None:
+            print(
+                "--adaptive-batch supports --parallel-backend sim only",
+                file=sys.stderr,
+            )
+            return 2
+        if args.wire_dtype is not None or args.stochastic_rounding:
+            print(
+                "--adaptive-batch is incompatible with --wire-dtype/"
+                "--stochastic-rounding",
+                file=sys.stderr,
+            )
+            return 2
     if args.workers is not None:
         if args.workers < 1:
             print("--workers must be >= 1", file=sys.stderr)
             return 2
-        if args.checkpoint_dir is not None and args.parallel_backend != "mp":
+        if (
+            args.checkpoint_dir is not None
+            and args.parallel_backend != "mp"
+            and not args.adaptive_batch
+        ):
             print(
                 "--workers with --checkpoint-dir requires "
                 "--parallel-backend mp",
@@ -486,6 +588,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
     obs = _build_obs(args)
 
     def train(obs=None):
+        if args.adaptive_batch:
+            return wl.run_adaptive(
+                max_batch=args.max_batch,
+                seed=args.seed, epochs=args.epochs, obs=obs,
+                workers=args.workers or 0,
+                noise_every=args.noise_every or 16,
+                target_ratio=(
+                    args.target_ratio if args.target_ratio is not None else 2.0
+                ),
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume, keep_last=args.keep_last,
+            )
         if args.checkpoint_dir is not None:
             return wl.run_resilient(
                 batch, schedule, checkpoint_dir=args.checkpoint_dir,
@@ -521,7 +635,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"{args.workload} @ batch {batch} "
         f"(paper {wl.paper_batch(batch)}): {wl.metric} = {score:.4g} [{status}]"
     )
-    if args.workers is not None:
+    if args.adaptive_batch:
+        trainer = wl.last_adaptive
+        print(
+            f"adaptive batch: {int(result.final_metrics['optimizer_steps'])} "
+            f"steps, {int(result.final_metrics['growth_events'])} growth "
+            f"event(s), trajectory {trainer.trajectory}, final noise scale "
+            f"{result.final_metrics['noise_scale']:.1f}"
+        )
+    if args.workers is not None and not args.adaptive_batch:
         overlap = result.final_metrics.get("overlap_fraction")
         extra = (
             f", {overlap:.0%} of comm hidden under backward"
@@ -534,7 +656,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"({args.parallel_backend}), {args.allreduce_algo} "
             f"all-reduce{wire}{extra}"
         )
-    if args.checkpoint_dir is not None:
+    if args.checkpoint_dir is not None and not args.adaptive_batch:
         faults = int(result.final_metrics.get("faults_detected", 0))
         recoveries = int(result.final_metrics.get("recoveries", 0))
         print(

@@ -360,6 +360,88 @@ class Workload:
             if cluster is not None:
                 cluster.close()
 
+    def run_adaptive(
+        self,
+        *,
+        max_batch: int | None = None,
+        schedule: Schedule | None = None,
+        solver: str | None = None,
+        seed: int = 0,
+        epochs: int | None = None,
+        obs=None,
+        workers: int = 0,
+        noise_every: int = 16,
+        target_ratio: float = 2.0,
+        hysteresis: float = 1.1,
+        growth_factor: float = 2.0,
+        cooldown_epochs: int = 1,
+        rewarmup: bool = True,
+        checkpoint_dir=None,
+        resume: bool = False,
+        keep_last: int | None = 3,
+    ) -> TrainResult:
+        """Train with the batch size steered by the online noise scale.
+
+        Starts at ``base_batch`` under the base LEGW schedule and lets an
+        :class:`~repro.adapt.AdaptiveBatchTrainer` grow the batch toward
+        the measured critical batch (capped at ``max_batch``, default the
+        workload's largest ladder entry).  ``workers > 0`` computes
+        gradients through a :class:`~repro.parallel.cluster.SimCluster`
+        whose per-shard gradients feed the estimator for free; serial
+        runs probe with paired micro-batches every ``noise_every``
+        iterations.  ``rewarmup=False`` is the CLARS-style no-warmup
+        ablation (sqrt rescale only).  ``checkpoint_dir`` enables
+        hardened checkpoints and ``resume=True`` (which reproduces the
+        batch trajectory bit-exactly).  The trainer is stashed as
+        ``self.last_adaptive`` so callers can read the growth
+        trajectory.
+        """
+        from repro.adapt import (
+            AdaptiveBatchTrainer,
+            BatchSizeController,
+            OnlineNoiseScale,
+        )
+
+        total_epochs = epochs if epochs is not None else self.epochs
+        if max_batch is None:
+            max_batch = max(self.batches)
+        model = self.make_model(seed)
+        optimizer = self.make_optimizer(model, solver)
+        if schedule is None:
+            schedule = self.legw_schedule(self.base_batch, total_epochs)
+        cluster = None
+        if workers > 0:
+            cluster = SimCluster(list(model.parameters()), model.loss, workers)
+        controller = BatchSizeController(
+            self.base_batch,
+            max_batch,
+            target_ratio=target_ratio,
+            hysteresis=hysteresis,
+            growth_factor=growth_factor,
+            cooldown_epochs=cooldown_epochs,
+        )
+        trainer = AdaptiveBatchTrainer(
+            model,
+            optimizer,
+            schedule,
+            self.make_train_iter,
+            base_batch=self.base_batch,
+            controller=controller,
+            estimator=OnlineNoiseScale(),
+            data_seed=seed + 1,
+            cluster=cluster,
+            eval_fn=self.make_eval_fn(model),
+            grad_clip=self.grad_clip,
+            obs=obs,
+            noise_every=noise_every,
+            base_warmup_epochs=self.base_warmup_epochs,
+            rewarmup=rewarmup,
+            checkpoint_dir=checkpoint_dir,
+            keep_last=keep_last,
+        )
+        self.last_adaptive = trainer  # type: ignore[attr-defined]
+        return trainer.run(total_epochs, resume=resume)
+
     def run_legw(
         self, batch: int, seed: int = 0, epochs: int | None = None
     ) -> TrainResult:

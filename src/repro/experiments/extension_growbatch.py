@@ -22,6 +22,10 @@ documented in EXPERIMENTS.md.)
 It reports the final top-5 of each plus the *modeled* wall-clock of each
 run from the device cost model — the grow-batch recipe's accuracy should
 match while its modeled time is smaller, the Smith et al. headline.
+
+The milestones here are hand-picked (open loop); ``extension_adabatch``
+closes the loop, replacing them with the online noise-scale measurement
+from :mod:`repro.adapt` and beating this recipe on both axes.
 """
 
 from __future__ import annotations

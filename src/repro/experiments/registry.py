@@ -31,6 +31,7 @@ EXPERIMENTS: dict[str, str] = {
     "ablation_lars": "repro.experiments.ablation_lars",
     "ablation_lamb": "repro.experiments.ablation_lamb",
     "extension_growbatch": "repro.experiments.extension_growbatch",
+    "extension_adabatch": "repro.experiments.extension_adabatch",
 }
 
 

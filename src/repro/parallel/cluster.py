@@ -23,6 +23,7 @@ single-buffer reduction (the ablation baseline).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -61,6 +62,43 @@ def shard_batch(batch_arrays: Sequence[np.ndarray], p: int) -> list[tuple[np.nda
         tuple(split[j][w] for j in range(len(batch_arrays)))
         for w in range(active)
     ]
+
+
+@dataclass
+class NoiseTap:
+    """Per-shard gradient statistics harvested from one all-reduce step.
+
+    Data-parallel training materialises exactly the quantities the
+    two-batch noise-scale estimator needs — each worker's small-batch
+    gradient and their average, the big-batch gradient — so a step with
+    ``noise_tap`` enabled records the squared norms here for
+    :class:`repro.adapt.OnlineNoiseScale` to consume at zero extra
+    backward passes.
+
+    ``shard_sq_norms`` are the *unscaled* per-shard mean-loss gradient
+    squared norms; ``big_sq_norm`` is the squared norm of the reduced
+    (full-batch) gradient.  The effective small-batch size for the
+    elimination is the harmonic mean of the shard sizes (because
+    ``E‖g_b‖² = ‖G‖² + tr(Σ)/b`` averages over shards through ``1/b``).
+    """
+
+    shard_sizes: list[int]
+    shard_sq_norms: list[float]
+    big_size: int
+    big_sq_norm: float
+
+    @property
+    def small_size(self) -> float:
+        inv = sum(1.0 / max(1, b) for b in self.shard_sizes)
+        return len(self.shard_sizes) / inv
+
+    @property
+    def small_sq_norm(self) -> float:
+        return float(np.mean(self.shard_sq_norms))
+
+    def usable(self) -> bool:
+        """A single active shard degenerates to ``b_small == b_big``."""
+        return len(self.shard_sizes) >= 2 and self.big_size > self.small_size
 
 
 class _InstalledGradients:
@@ -145,6 +183,11 @@ class SimCluster:
         self.comm = comm or CommModel()
         self.device = device or DeviceModel(t_fixed=0.0, t_sample=1.0)
         self.last_timeline: OverlapTimeline | None = None
+        # opt-in shard-gradient statistics for the online noise-scale
+        # estimator (repro.adapt); off by default so the plain training
+        # path never pays the extra squared-norm reductions
+        self.noise_tap = False
+        self.last_noise_tap: NoiseTap | None = None
 
     # -- gradient computation ----------------------------------------------
 
@@ -179,12 +222,16 @@ class SimCluster:
         shard_sizes = np.array([len(s[0]) for s in shards], dtype=np.float64)
         weights = shard_sizes / shard_sizes.sum()
         losses: list[float] = []
+        shard_sq: list[float] = []
         if self.buckets is not None:
             worker_buckets: list[list[np.ndarray]] = []
             for shard, w in zip(shards, weights):
                 # weight by shard fraction so uneven shards still average
                 # to the exact full-batch gradient of a mean loss
-                grads, loss = self._worker_grads(shard, w * n_active)
+                scale = w * n_active
+                grads, loss = self._worker_grads(shard, scale)
+                if self.noise_tap:
+                    shard_sq.append(self._raw_sq_norm(grads, scale))
                 worker_buckets.append(self.buckets.pack(grads))
                 losses.append(loss)
             reduced = self.buckets.reduce_packed(
@@ -193,7 +240,10 @@ class SimCluster:
         else:
             flat_grads: list[np.ndarray] = []
             for shard, w in zip(shards, weights):
-                grads, loss = self._worker_grads(shard, w * n_active)
+                scale = w * n_active
+                grads, loss = self._worker_grads(shard, scale)
+                if self.noise_tap:
+                    shard_sq.append(self._raw_sq_norm(grads, scale))
                 flat_grads.append(
                     np.concatenate([g.reshape(-1) for g in grads])
                 )
@@ -211,9 +261,24 @@ class SimCluster:
         for p, g in zip(self.params, reduced):
             p.grad = g
             out.append(p.grad)
+        if self.noise_tap:
+            self.last_noise_tap = NoiseTap(
+                shard_sizes=[int(b) for b in shard_sizes],
+                shard_sq_norms=shard_sq,
+                big_size=int(shard_sizes.sum()),
+                big_sq_norm=float(
+                    sum(float(np.sum(g * g)) for g in reduced)
+                ),
+            )
         self._record_timeline(int(shard_sizes.max()))
         mean_loss = float(np.dot(weights, losses))
         return mean_loss, out
+
+    @staticmethod
+    def _raw_sq_norm(grads: Sequence[np.ndarray], scale: float) -> float:
+        """Squared norm of a worker's *unscaled* mean-loss gradient."""
+        total = sum(float(np.sum(g.astype(np.float64) ** 2)) for g in grads)
+        return total / (scale * scale) if scale else 0.0
 
     # -- the simulated overlap timeline -------------------------------------
 

@@ -72,7 +72,7 @@ from repro.parallel.buckets import (
     DEFAULT_BUCKET_MB,
     GradientBuckets,
 )
-from repro.parallel.cluster import _InstalledGradients, shard_batch
+from repro.parallel.cluster import NoiseTap, _InstalledGradients, shard_batch
 from repro.parallel.cost import CommModel
 from repro.parallel.faults import FaultSpec, WorkerFaultError
 from repro.parallel.perfmodel import DeviceModel
@@ -342,6 +342,11 @@ class MultiprocessCluster:
         self.tracer = tracer
         self.faults_detected = 0
         self.retries = 0
+        # opt-in shard-gradient statistics for the online noise-scale
+        # estimator (repro.adapt); the per-worker gradients are already
+        # on the driver, so tapping costs squared-norm reductions only
+        self.noise_tap = False
+        self.last_noise_tap: NoiseTap | None = None
         # delta-broadcast accounting (exposed for tests and curiosity)
         self.broadcast_params = 0
         self.broadcast_bytes = 0
@@ -589,6 +594,19 @@ class MultiprocessCluster:
             )
         for p, g in zip(params, reduced):
             p.grad = g
+        if self.noise_tap:
+            self.last_noise_tap = NoiseTap(
+                shard_sizes=[int(b) for b in sizes],
+                shard_sq_norms=[
+                    sum(
+                        float(np.sum(grads[name].astype(np.float64) ** 2))
+                        for name in order
+                    )
+                    for (loss, grads) in results
+                ],
+                big_size=int(sizes.sum()),
+                big_sq_norm=float(sum(float(np.sum(g * g)) for g in reduced)),
+            )
         reg = get_active()
         if reg is not None:
             backward = (

@@ -172,6 +172,52 @@ class TestTrainParallel:
         assert "parallel: 2 workers" in capsys.readouterr().out
 
 
+class TestAdaptiveBatch:
+    def test_tuning_flags_require_adaptive_batch(self, capsys):
+        for flag, value in (
+            ("--noise-every", "8"),
+            ("--target-ratio", "2.0"),
+            ("--max-batch", "128"),
+        ):
+            assert main(["train", "mnist", flag, value]) == 2
+            assert "--adaptive-batch" in capsys.readouterr().err
+
+    def test_adaptive_owns_the_batch_size(self, capsys):
+        assert main(
+            ["train", "mnist", "--adaptive-batch", "--batch", "64"]
+        ) == 2
+        assert "owns the batch size" in capsys.readouterr().err
+
+    def test_adaptive_rejects_compile(self, capsys):
+        assert main(
+            ["train", "mnist", "--adaptive-batch", "--compile"]
+        ) == 2
+        assert "recapture" in capsys.readouterr().err
+
+    def test_adaptive_rejects_fault_injection(self, capsys, tmp_path):
+        assert main(
+            ["train", "mnist", "--adaptive-batch", "--fault-rate", "0.1",
+             "--checkpoint-dir", str(tmp_path)]
+        ) == 2
+        assert "no rollback path" in capsys.readouterr().err
+
+    def test_adaptive_requires_legw_schedule(self, capsys):
+        assert main(
+            ["train", "mnist", "--adaptive-batch", "--schedule", "sqrt"]
+        ) == 2
+        assert "legw" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_adaptive_train_reports_trajectory(self, capsys):
+        code = main(
+            ["train", "mnist", "--adaptive-batch", "--epochs", "3",
+             "--noise-every", "8", "--target-ratio", "4.0", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive batch" in out and "trajectory" in out
+
+
 class TestServeBench:
     def test_closed_loop_fresh_model(self, capsys):
         code = main(

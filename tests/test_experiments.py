@@ -127,7 +127,7 @@ class TestRegistry:
             "table1", "table2", "table3",
             "ablation_warmup", "ablation_scaling",
             "ablation_allreduce", "ablation_lars", "ablation_lamb",
-            "extension_growbatch",
+            "extension_growbatch", "extension_adabatch",
         }
         assert set(EXPERIMENTS) == expected
 

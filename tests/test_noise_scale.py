@@ -94,3 +94,67 @@ class TestNoiseScaleOnLinearRegression:
             estimate_noise_scale(
                 loss_fn, make_batch, [w], 8, 64, rng=0, n_pairs=0
             )
+
+    def test_probe_preserves_training_gradients(self, rng):
+        """Regression: the probe backwards must save and restore ``.grad``,
+        not leave its own gradients behind for the next optimizer step."""
+        w, loss_fn, make_batch = self.make_problem(rng, 1.0)
+        sentinel = rng.standard_normal(w.data.shape)
+        w.grad = sentinel.copy()
+        estimate_noise_scale(loss_fn, make_batch, [w], 8, 64, rng=3, n_pairs=2)
+        np.testing.assert_array_equal(w.grad, sentinel)
+
+    def test_no_grad_state_restored_as_none(self, rng):
+        w, loss_fn, make_batch = self.make_problem(rng, 1.0)
+        w.grad = None
+        estimate_noise_scale(loss_fn, make_batch, [w], 8, 64, rng=3, n_pairs=2)
+        assert w.grad is None
+
+
+class TestNoiseScaleOnQuadratic:
+    """f_i(w) = 0.5 ||w - x_i||^2: the per-example gradient is w - x_i, so
+    tr(Σ) and ||G||² are exact finite-population array moments and the
+    two-batch estimator can be checked for unbiasedness, not just sign."""
+
+    def make_problem(self, seed, n=4096, d=8, mu=1.0, sigma=3.0):
+        rng = np.random.default_rng(seed)
+        xs = mu + sigma * rng.standard_normal((n, d))
+        w = Parameter(np.zeros(d))
+        # at w = 0 the population gradient is -mean(x); per-example
+        # deviations are -(x_i - mean(x)), so tr(Σ) = Σ_k var(x[:, k])
+        trace_true = float(xs.var(axis=0).sum())
+        g_bar = xs.mean(axis=0)
+        gsq_true = float(g_bar @ g_bar)
+
+        def loss_fn(batch):
+            xb, _ = batch
+            resid = Tensor(xb) - w
+            return (resid * resid).mean() * (0.5 * d)
+
+        def make_batch(size, gen):
+            idx = gen.integers(0, n, size)
+            return xs[idx], None
+
+        return w, loss_fn, make_batch, trace_true, gsq_true
+
+    def test_unbiased_across_seeds(self):
+        """Averaged over independent probe streams, tr(Σ), ||G||² and
+        their ratio must all land on the analytic truth."""
+        w, loss_fn, make_batch, trace_true, gsq_true = self.make_problem(0)
+        traces, gsqs, scales = [], [], []
+        for seed in range(5):
+            est = estimate_noise_scale(
+                loss_fn, make_batch, [w], b_small=4, b_big=256,
+                rng=seed, n_pairs=16,
+            )
+            traces.append(est.trace_sigma)
+            gsqs.append(est.grad_sq_norm)
+            scales.append(est.noise_scale)
+        assert np.mean(traces) == pytest.approx(trace_true, rel=0.25)
+        assert np.mean(gsqs) == pytest.approx(gsq_true, rel=0.25)
+        assert np.mean(scales) == pytest.approx(trace_true / gsq_true, rel=0.4)
+
+    def test_degenerate_equal_batches_rejected(self):
+        w, loss_fn, make_batch, _, _ = self.make_problem(1)
+        with pytest.raises(ValueError):
+            estimate_noise_scale(loss_fn, make_batch, [w], 64, 64, rng=0)
